@@ -1,0 +1,30 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the same rows/series as the corresponding figure or
+// table of the paper. Cross-platform timing claims use the simulator's
+// modeled cycles (reported as "model-ms": modeled cycles scaled by a nominal
+// 1 GHz clock); wall-clock seconds of the real computation are printed
+// alongside. Pass --scale=N to divide workload sizes by N (default sizes
+// are already scaled from the paper's to laptop range; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace morph::bench {
+
+/// Modeled cycles -> milliseconds at a nominal 1 GHz device clock.
+inline double model_ms(double cycles) { return cycles * 1e-6; }
+
+inline std::string fmt_ms(double ms) { return Table::num(ms, 2); }
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace morph::bench

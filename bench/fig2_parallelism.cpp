@@ -1,0 +1,61 @@
+// Figure 2: parallelism profile of Delaunay Mesh Refinement.
+//
+// The paper ran ParaMeter on a 100K-triangle mesh with half the triangles
+// bad and reported the number of bad triangles that can be processed in
+// parallel at each computation step: ~5,000 initially, peaking above 7,000,
+// then decaying. We measure the same quantity — a greedy maximal set of
+// non-overlapping cavities per round — on a (scaled) random input mesh.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dmr/cavity.hpp"
+#include "dmr/delaunay.hpp"
+
+int main(int argc, char** argv) {
+  using namespace morph;
+  CliArgs args(argc, argv);
+  const std::size_t triangles =
+      static_cast<std::size_t>(args.get_int("triangles", 100000)) /
+      static_cast<std::size_t>(args.get_int("scale", 4));
+  bench::header("Fig. 2 — DMR parallelism profile",
+                "available parallelism rises to a peak, then decays");
+
+  dmr::Mesh m = dmr::generate_input_mesh(triangles, 42);
+  m.compute_all_bad(30.0);
+  const double cb = dmr::cos_of_deg(30.0);
+
+  Table t({"step", "available parallelism (independent cavities)"});
+  std::size_t peak = 0, first = 0;
+  for (int round = 0;; ++round) {
+    std::vector<dmr::Tri> bad;
+    for (dmr::Tri x = 0; x < m.num_slots(); ++x) {
+      if (!m.is_deleted(x) && m.is_bad(x)) bad.push_back(x);
+    }
+    if (bad.empty()) break;
+    std::vector<std::uint8_t> taken(m.num_slots() * 16, 0);
+    std::size_t applied = 0;
+    for (dmr::Tri x : bad) {
+      if (m.is_deleted(x) || !m.is_bad(x)) continue;
+      dmr::Cavity c = dmr::build_refinement_cavity(m, x);
+      const auto hood = c.neighborhood(m);
+      bool free = true;
+      for (dmr::Tri h : hood) {
+        if (h < taken.size() && taken[h]) free = false;
+      }
+      if (!free) continue;
+      for (dmr::Tri h : hood) {
+        if (h < taken.size()) taken[h] = 1;
+      }
+      dmr::retriangulate(m, c, cb);
+      ++applied;
+    }
+    if (round == 0) first = applied;
+    peak = std::max(peak, applied);
+    t.add_row({std::to_string(round), std::to_string(applied)});
+  }
+  t.print(std::cout);
+  std::cout << "\ninitial=" << first << " peak=" << peak
+            << "  (paper: ~5,000 initial, >7,000 peak on 100K triangles; "
+               "shape: rise then decay)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "core/conflict.hpp"
+
+namespace morph::core {
+
+MarkTable::MarkTable(std::size_t num_elements) : marks_(num_elements) {
+  reset();
+}
+
+void MarkTable::resize(std::size_t n) {
+  // std::atomic is not movable; rebuild. Resizing happens between rounds,
+  // never while a kernel is marking.
+  std::vector<std::atomic<std::uint32_t>> bigger(n);
+  for (auto& m : bigger) m.store(kNoOwner, std::memory_order_relaxed);
+  marks_.swap(bigger);
+}
+
+void MarkTable::reset() {
+  for (auto& m : marks_) m.store(kNoOwner, std::memory_order_relaxed);
+}
+
+void MarkTable::race_mark(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                          std::span<const std::uint32_t> elements) {
+  for (std::uint32_t e : elements) {
+    ctx.global_access();
+    marks_[e].store(tid, std::memory_order_relaxed);
+  }
+  ctx.work(elements.size());
+}
+
+bool MarkTable::priority_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                               std::span<const std::uint32_t> elements) {
+  bool owns = true;
+  for (std::uint32_t e : elements) {
+    ctx.global_access();
+    const std::uint32_t tm = marks_[e].load(std::memory_order_relaxed);
+    if (tm == tid) continue;
+    if (tid < tm && tm != kNoOwner) {
+      owns = false;  // higher-id thread has priority; back off
+      break;
+    }
+    // tid > tm (or the mark was cleared): take priority.
+    ctx.global_access();
+    marks_[e].store(tid, std::memory_order_relaxed);
+  }
+  ctx.work(elements.size());
+  return owns;
+}
+
+bool MarkTable::exact_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                            std::span<const std::uint32_t> elements) const {
+  ctx.work(elements.size());
+  for (std::uint32_t e : elements) {
+    ctx.global_access();
+    if (marks_[e].load(std::memory_order_relaxed) != tid) return false;
+  }
+  return true;
+}
+
+bool MarkTable::final_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                            std::span<const std::uint32_t> elements) const {
+  return exact_check(ctx, tid, elements);
+}
+
+bool MarkTable::try_claim(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                          std::span<const std::uint32_t> elements) {
+  // Elements are expected in ascending order (callers sort neighborhoods);
+  // claiming in a global order makes lock acquisition deadlock-free.
+  std::size_t taken = 0;
+  for (; taken < elements.size(); ++taken) {
+    std::uint32_t expected = kNoOwner;
+    ctx.atomic_op();
+    if (!marks_[elements[taken]].compare_exchange_strong(
+            expected, tid, std::memory_order_acq_rel)) {
+      if (expected != tid) break;  // held by someone else
+    }
+  }
+  if (taken == elements.size()) return true;
+  release(ctx, tid, elements.subspan(0, taken));
+  return false;
+}
+
+void MarkTable::release(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                        std::span<const std::uint32_t> elements) {
+  for (std::uint32_t e : elements) {
+    std::uint32_t expected = tid;
+    ctx.atomic_op();
+    marks_[e].compare_exchange_strong(expected, kNoOwner,
+                                      std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace morph::core

@@ -1,0 +1,92 @@
+// Probabilistic 3-phase conflict resolution (paper Sec. 7.3).
+//
+// Activities whose neighborhoods (sets of graph elements) must be disjoint
+// claim their elements through a shared mark table:
+//
+//   phase 1 (race):          every thread writes its id on every element of
+//                            its neighborhood; last writer wins.
+//   phase 2 (prioritycheck): a thread inspects each mark; equal -> keep,
+//                            higher id present -> back off, lower id present
+//                            -> overwrite with own id.
+//   phase 3 (check):         read-only pass; a thread owns its neighborhood
+//                            iff every mark equals its id.
+//
+// A global barrier separates the phases (Device::launch_phases). The paper
+// shows the 2-phase race-and-prioritycheck variant admits a race in which
+// two overlapping cavities are both accepted; the read-only third phase
+// removes it. MarkTable exposes each phase separately so both the correct
+// protocol and the racy variants can be exercised and measured.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpu/device.hpp"
+
+namespace morph::core {
+
+/// Conflict-resolution schemes compared in the ablation bench.
+enum class ConflictScheme {
+  kLocks,                 ///< per-element CAS locks (mutual exclusion)
+  kTwoPhaseRaceCheck,     ///< race, then exact-match check (no priorities)
+  kTwoPhasePriority,      ///< race, then prioritycheck (racy; for study)
+  kThreePhase,            ///< race, prioritycheck, read-only check (correct)
+};
+
+/// Shared mark table over `num_elements` graph elements.
+class MarkTable {
+ public:
+  static constexpr std::uint32_t kNoOwner = 0xffffffffu;
+
+  explicit MarkTable(std::size_t num_elements);
+
+  std::size_t size() const { return marks_.size(); }
+  void resize(std::size_t n);
+  void reset();
+
+  std::uint32_t owner(std::uint32_t element) const {
+    return marks_[element].load(std::memory_order_relaxed);
+  }
+
+  /// Phase 1: mark every element of the neighborhood with `tid`.
+  void race_mark(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                 std::span<const std::uint32_t> elements);
+
+  /// Phase 2: priority re-mark. Returns false if a higher-priority thread
+  /// holds any element (the caller should back off); true means the thread
+  /// still believes it owns the neighborhood. Mutates marks.
+  bool priority_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                      std::span<const std::uint32_t> elements);
+
+  /// Phase 2 without priorities (the plain race-and-check protocol):
+  /// read-only; owns iff every mark equals tid.
+  bool exact_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                   std::span<const std::uint32_t> elements) const;
+
+  /// Phase 3: read-only final check; identical predicate to exact_check but
+  /// kept separate so call sites document the protocol they implement.
+  bool final_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                   std::span<const std::uint32_t> elements) const;
+
+  // --- mutual-exclusion alternative (the scheme the paper argues is
+  // ill-suited to GPUs; kept for the ablation bench) ---
+
+  /// Attempts to CAS-claim every element from kNoOwner to tid, in ascending
+  /// id order (deadlock-free). On failure releases what was taken and
+  /// returns false. Every CAS and release is an atomic charged to ctx.
+  bool try_claim(gpu::ThreadCtx& ctx, std::uint32_t tid,
+                 std::span<const std::uint32_t> elements);
+
+  /// Releases elements owned by tid (after a successful claim).
+  void release(gpu::ThreadCtx& ctx, std::uint32_t tid,
+               std::span<const std::uint32_t> elements);
+
+ private:
+  // Atomics: on the real GPU the race phase is a benign word-sized data
+  // race; under host threads we need defined behaviour.
+  std::vector<std::atomic<std::uint32_t>> marks_;
+};
+
+}  // namespace morph::core

@@ -1,0 +1,22 @@
+// Thread-divergence reduction (paper Sec. 7.6): move the active elements
+// (bad triangles, enabled pointer nodes) to one side of the work array so
+// that the threads of a warp either all have work or all don't.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+namespace morph::core {
+
+/// Stable-partitions `ids` so elements satisfying `is_active` come first;
+/// returns the number of active elements. Stability keeps spatial locality
+/// (important for the pseudo-partitioning of Sec. 7.5).
+template <typename Pred>
+std::uint32_t pack_active(std::span<std::uint32_t> ids, Pred is_active) {
+  auto mid = std::stable_partition(ids.begin(), ids.end(),
+                                   [&](std::uint32_t id) { return is_active(id); });
+  return static_cast<std::uint32_t>(mid - ids.begin());
+}
+
+}  // namespace morph::core

@@ -1,0 +1,85 @@
+// Subgraph addition and deletion strategies (paper Sec. 7.1 / 7.2).
+//
+// The mechanics live in gpu::DeviceBuffer (Pre-allocation / Host-Only /
+// Kernel-Host growth) and gpu::DeviceHeap (Kernel-Only chunked malloc). This
+// header names the strategies, and provides SlotRecycler, the "Recycle"
+// deletion strategy DMR uses: deleted element slots are remembered and
+// handed back to threads creating new elements, trading compaction overhead
+// against allocation cost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace morph::core {
+
+enum class AdditionStrategy {
+  kPreAlloc,    ///< allocate the maximum up front
+  kHostOnly,    ///< host pre-calculates the next kernel's needs
+  kKernelHost,  ///< kernel piggybacks the size computation, host allocates
+  kKernelOnly,  ///< device-side malloc (chunked)
+};
+
+enum class DeletionStrategy {
+  kMark,      ///< tombstone flags; space is never reclaimed
+  kExplicit,  ///< free the memory (DeviceHeap::free_chunk)
+  kRecycle,   ///< reuse deleted slots for new elements (SlotRecycler)
+};
+
+/// Lock-free pool of recyclable element slots. Threads freeing slots push
+/// them; threads creating elements try take() before extending the array.
+class SlotRecycler {
+ public:
+  explicit SlotRecycler(std::size_t capacity)
+      : slots_(capacity), tail_(0), head_(0) {}
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Records a freed slot. Returns false if the pool is full (the slot is
+  /// then simply leaked to the mark strategy — safe, just less thrifty).
+  bool give(std::uint32_t slot) {
+    const std::uint64_t t = tail_.fetch_add(1, std::memory_order_acq_rel);
+    if (t >= slots_.size()) {
+      tail_.store(slots_.size(), std::memory_order_relaxed);
+      return false;
+    }
+    slots_[t].store(slot, std::memory_order_release);
+    return true;
+  }
+
+  /// Takes a recycled slot if one is available.
+  std::optional<std::uint32_t> take() {
+    for (;;) {
+      std::uint64_t h = head_.load(std::memory_order_relaxed);
+      const std::uint64_t t = tail_.load(std::memory_order_acquire);
+      if (h >= t || h >= slots_.size()) return std::nullopt;
+      if (head_.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel)) {
+        return slots_[h].load(std::memory_order_acquire);
+      }
+    }
+  }
+
+  std::size_t available() const {
+    const std::uint64_t t =
+        std::min<std::uint64_t>(tail_.load(std::memory_order_relaxed),
+                                slots_.size());
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    return t > h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+  void clear() {
+    tail_.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> slots_;
+  std::atomic<std::uint64_t> tail_;
+  std::atomic<std::uint64_t> head_;
+};
+
+}  // namespace morph::core

@@ -1,0 +1,247 @@
+#include "dmr/cavity.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace morph::dmr {
+
+namespace {
+
+/// Containment test used for cavity expansion: p strictly inside the
+/// circumcircle of triangle t.
+bool circum_contains(const Mesh& m, Tri t, Pt64 p, bool use_float) {
+  const auto& v = m.verts(t);
+  if (use_float) {
+    const Pt<float> pf{static_cast<float>(p.x), static_cast<float>(p.y)};
+    return incircle(m.point_f(v[0]), m.point_f(v[1]), m.point_f(v[2]), pf) >
+           0.0f;
+  }
+  return incircle(m.point(v[0]), m.point(v[1]), m.point(v[2]), p) > 0.0;
+}
+
+struct ExpandResult {
+  bool ok = true;
+  // When a boundary frontier edge is encroached, the triangle/edge to split:
+  bool encroached = false;
+  Tri seg_tri = Mesh::kNone;
+  int seg_edge = -1;
+};
+
+/// BFS expansion of the cavity of p from `start`. Fills c.tris/frontier.
+/// If `skip_tri/skip_edge` names a boundary segment (the one being split),
+/// that edge is excluded from the frontier. `check_encroachment` is set for
+/// refinement cavities only: a circumcenter inside the diametral circle of
+/// a hull segment forces a segment split, whereas Bowyer-Watson insertion
+/// points are real input points and never move.
+ExpandResult expand(const Mesh& m, Pt64 p, Tri start, bool use_float,
+                    Tri skip_tri, int skip_edge, bool check_encroachment,
+                    Cavity& c) {
+  ExpandResult r;
+  c.tris.clear();
+  c.frontier.clear();
+  std::vector<Tri> stack{start};
+  // Small meshes: a flat visited map is fine and keeps this allocation-light.
+  std::unordered_map<Tri, bool> in_cavity;
+  in_cavity[start] = true;
+  while (!stack.empty()) {
+    const Tri t = stack.back();
+    stack.pop_back();
+    c.tris.push_back(t);
+    for (int e = 0; e < 3; ++e) {
+      ++c.steps;
+      const auto [a, b] = m.edge_verts(t, e);
+      const Tri o = m.across(t, e);
+      if (t == skip_tri && e == skip_edge) continue;  // segment being split
+      if (o == Mesh::kBoundary) {
+        // Hull edge on the frontier: check encroachment. (a,b) is ordered so
+        // the interior is on its left; p beyond or inside the diametral
+        // circle forces a segment split.
+        const bool beyond = orient2d(m.point(a), m.point(b), p) <= 0;
+        if (check_encroachment &&
+            (beyond || in_diametral_circle(m.point(a), m.point(b), p))) {
+          r.ok = false;
+          r.encroached = true;
+          r.seg_tri = t;
+          r.seg_edge = e;
+          return r;
+        }
+        c.frontier.push_back({a, b, Mesh::kBoundary});
+        continue;
+      }
+      MORPH_CHECK(o != Mesh::kNone);
+      auto it = in_cavity.find(o);
+      if (it != in_cavity.end()) continue;  // already enqueued/visited
+      if (circum_contains(m, o, p, use_float)) {
+        in_cavity[o] = true;
+        stack.push_back(o);
+      } else {
+        c.frontier.push_back({a, b, o});
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<Tri> Cavity::neighborhood(const Mesh&) const {
+  std::vector<Tri> n = tris;
+  for (const FrontierEdge& f : frontier) {
+    if (f.outside != Mesh::kBoundary) n.push_back(f.outside);
+  }
+  std::sort(n.begin(), n.end());
+  n.erase(std::unique(n.begin(), n.end()), n.end());
+  return n;
+}
+
+Cavity build_insertion_cavity(const Mesh& m, Tri start, Pt64 p) {
+  Cavity c;
+  c.center = p;
+  const ExpandResult r = expand(m, p, start, /*use_float=*/false, Mesh::kNone,
+                                -1, /*check_encroachment=*/false, c);
+  MORPH_CHECK_MSG(r.ok, "insertion cavity expansion failed");
+  c.ok = true;
+  return c;
+}
+
+Cavity build_refinement_cavity(const Mesh& m, Tri bad, bool use_float) {
+  Cavity c;
+  // First attempt: the circumcenter of the bad triangle.
+  const auto& v = m.verts(bad);
+  c.center = circumcenter(m.point(v[0]), m.point(v[1]), m.point(v[2]));
+  Tri start = bad;
+  Tri skip_tri = Mesh::kNone;
+  int skip_edge = -1;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const ExpandResult r = expand(m, c.center, start, use_float, skip_tri,
+                                  skip_edge, /*check_encroachment=*/true, c);
+    if (r.ok) {
+      c.ok = true;
+      if (skip_edge >= 0) {
+        c.open_fan = true;
+        const auto [a, b] = m.edge_verts(skip_tri, skip_edge);
+        c.fan_start = a;
+        c.fan_end = b;
+      }
+      return c;
+    }
+    // Encroached boundary segment: split it at its midpoint instead
+    // (Ruppert's rule; may cascade to another segment).
+    MORPH_CHECK(r.encroached);
+    skip_tri = r.seg_tri;
+    skip_edge = r.seg_edge;
+    const auto [a, b] = m.edge_verts(skip_tri, skip_edge);
+    c.center = midpoint(m.point(a), m.point(b));
+    start = skip_tri;
+  }
+  MORPH_CHECK_MSG(false, "segment-split cascade did not settle");
+  return c;
+}
+
+RetriangulateResult retriangulate(Mesh& m, const Cavity& c, double cos_bound,
+                                  core::SlotRecycler* recycler,
+                                  std::vector<Tri>* out_new) {
+  MORPH_CHECK(c.ok);
+  MORPH_CHECK(!c.tris.empty());
+  RetriangulateResult res;
+  const Vtx p = m.add_point(c.center.x, c.center.y);
+  res.new_vertex = p;
+
+  for (Tri t : c.tris) m.mark_deleted(t);
+
+  // Create the fan of new triangles, one per frontier edge.
+  std::vector<Tri> created;
+  created.reserve(c.frontier.size());
+  for (const FrontierEdge& f : c.frontier) {
+    Tri slot = Mesh::kNone;
+    if (recycler) {
+      if (auto s = recycler->take()) slot = *s;
+    }
+    if (slot == Mesh::kNone) {
+      slot = m.add_triangle(p, f.a, f.b);
+    } else {
+      m.write_triangle(slot, p, f.a, f.b);
+    }
+    created.push_back(slot);
+  }
+
+  // Wire adjacencies. Across the frontier edge: the outside triangle (or
+  // boundary). Around the fan: triangles sharing a (p, w) edge pair up; in
+  // an open fan the two extreme (p, w) edges become new hull edges.
+  std::unordered_map<Vtx, std::pair<Tri, Tri>> fan;  // vertex -> up to 2 tris
+  for (std::size_t i = 0; i < created.size(); ++i) {
+    const Tri nt = created[i];
+    const FrontierEdge& f = c.frontier[i];
+    const int outer_edge = m.edge_index(nt, f.a, f.b);
+    m.set_neighbor(nt, outer_edge, f.outside);
+    if (f.outside != Mesh::kBoundary) {
+      const int back = m.edge_index(f.outside, f.a, f.b);
+      m.set_neighbor(f.outside, back, nt);
+    }
+    for (Vtx w : {f.a, f.b}) {
+      auto [it, fresh] = fan.try_emplace(w, std::pair<Tri, Tri>{nt, Mesh::kNone});
+      if (!fresh) {
+        MORPH_CHECK_MSG(it->second.second == Mesh::kNone,
+                        "fan vertex shared by more than two new triangles");
+        it->second.second = nt;
+      }
+    }
+  }
+  for (const auto& [w, pair] : fan) {
+    const auto [t1, t2] = pair;
+    if (t2 == Mesh::kNone) {
+      // Open-fan extreme: (p, w) is a new hull edge.
+      MORPH_CHECK_MSG(c.open_fan && (w == c.fan_start || w == c.fan_end),
+                      "dangling fan edge in a closed cavity");
+      m.set_neighbor(t1, m.edge_index(t1, p, w), Mesh::kBoundary);
+    } else {
+      m.set_neighbor(t1, m.edge_index(t1, p, w), t2);
+      m.set_neighbor(t2, m.edge_index(t2, p, w), t1);
+    }
+  }
+
+  for (Tri nt : created) {
+    const bool bad = m.check_bad(nt, cos_bound);
+    m.set_bad(nt, bad);
+    res.new_bad += bad ? 1 : 0;
+  }
+  res.new_tris = static_cast<std::uint32_t>(created.size());
+  if (out_new) out_new->insert(out_new->end(), created.begin(), created.end());
+  return res;
+}
+
+Tri locate_triangle(const Mesh& m, Tri hint, Pt64 p, std::uint64_t* steps) {
+  Tri t = hint;
+  if (t == Mesh::kNone || t >= m.num_slots() || m.is_deleted(t)) t = Mesh::kNone;
+  if (t != Mesh::kNone) {
+    const std::uint64_t cap = 4 * (m.num_live() + 16);
+    std::uint64_t walked = 0;
+    while (walked++ < cap) {
+      if (steps) ++*steps;
+      bool moved = false;
+      for (int e = 0; e < 3; ++e) {
+        const auto [a, b] = m.edge_verts(t, e);
+        if (orient2d(m.point(a), m.point(b), p) < 0) {
+          const Tri o = m.across(t, e);
+          if (o == Mesh::kBoundary) return Mesh::kNone;  // p outside hull
+          t = o;
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) return t;  // p on the inside of all three edges
+    }
+  }
+  // Fallback: linear scan (also covers a bad hint).
+  for (Tri s = 0; s < m.num_slots(); ++s) {
+    if (m.is_deleted(s)) continue;
+    const auto& v = m.verts(s);
+    if (orient2d(m.point(v[0]), m.point(v[1]), p) >= 0 &&
+        orient2d(m.point(v[1]), m.point(v[2]), p) >= 0 &&
+        orient2d(m.point(v[2]), m.point(v[0]), p) >= 0)
+      return s;
+  }
+  return Mesh::kNone;
+}
+
+}  // namespace morph::dmr

@@ -1,0 +1,33 @@
+// Bowyer-Watson Delaunay triangulation and input-mesh generation.
+//
+// The paper's DMR inputs are "randomly generated" meshes with roughly half
+// the triangles bad at the 30-degree bound; we reproduce them by uniformly
+// sampling points in the unit square and Delaunay-triangulating them
+// (incremental insertion with Morton-ordered points and walk-based point
+// location, reusing the cavity machinery of cavity.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dmr/cavity.hpp"
+#include "dmr/mesh.hpp"
+
+namespace morph::dmr {
+
+/// Triangulates the given points (each strictly inside the unit square).
+/// The four square corners are added as mesh vertices; the square border
+/// forms the boundary segments.
+Mesh triangulate_square(std::span<const Pt64> points);
+
+/// Generates a random input mesh with approximately `target_triangles`
+/// triangles (a triangulation of n points has ~2n triangles).
+Mesh generate_input_mesh(std::size_t target_triangles, std::uint64_t seed);
+
+/// True iff every pair of adjacent live triangles satisfies the (locally)
+/// Delaunay property: neither triangle's apex lies strictly inside the
+/// other's circumcircle. Local Delaunayhood of all edges implies global.
+bool is_delaunay(const Mesh& m, double eps = 1e-12);
+
+}  // namespace morph::dmr

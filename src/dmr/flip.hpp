@@ -1,0 +1,51 @@
+// Delaunay edge flipping (Lawson's algorithm) — an extension beyond the
+// paper's four applications.
+//
+// The paper's related work cites Navarro et al.'s GPU edge-flip
+// triangulator and notes it is a morph algorithm whose node/edge counts do
+// not change; it is nonetheless a perfect additional client for the generic
+// machinery: a flip's neighborhood is the two triangles sharing the edge
+// plus their four outer neighbors, conflicts are resolved with the same
+// 3-phase race / prioritycheck / check protocol, and the same worklist and
+// layout machinery applies. flip_gpu restores the Delaunay property of an
+// arbitrary triangulation.
+#pragma once
+
+#include <cstdint>
+
+#include "dmr/mesh.hpp"
+#include "gpu/device.hpp"
+
+namespace morph::dmr {
+
+struct FlipStats {
+  std::uint64_t flips = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t aborted = 0;
+  double wall_seconds = 0.0;
+  double modeled_cycles = 0.0;
+};
+
+/// True iff edge `e` of t is locally Delaunay (or a hull edge).
+bool edge_locally_delaunay(const Mesh& m, Tri t, int e);
+
+/// Flips the edge shared by t and across(t, e); the caller must ensure the
+/// surrounding quadrilateral is convex (flip_legal). Adjacencies of the
+/// four outer neighbors are rewired. Returns false (and changes nothing)
+/// for hull edges or non-convex quads.
+bool flip_edge(Mesh& m, Tri t, int e);
+
+/// Lawson's algorithm, sequential: flip non-locally-Delaunay edges until
+/// none remain.
+FlipStats flip_serial(Mesh& m);
+
+/// The same on the simulated GPU with 3-phase conflict resolution.
+FlipStats flip_gpu(Mesh& m, gpu::Device& dev,
+                   gpu::BarrierKind barrier = gpu::BarrierKind::kHierarchical);
+
+/// Test/bench helper: performs up to `count` random legal flips, typically
+/// destroying the Delaunay property. Returns the number performed.
+std::size_t random_legal_flips(Mesh& m, std::size_t count,
+                               std::uint64_t seed);
+
+}  // namespace morph::dmr

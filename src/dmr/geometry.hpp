@@ -1,0 +1,92 @@
+// 2-d geometric predicates and constructions for Delaunay meshing.
+//
+// Templated on the coordinate type so the single-precision arithmetic
+// optimization of the paper's Fig. 8 (row 7) can be measured: the GPU code
+// computed cavity tests in float. Predicates are epsilon-free floating-point
+// evaluations — the same choice the CUDA implementation made — which is
+// adequate for the random, non-degenerate inputs the paper uses.
+#pragma once
+
+#include <cmath>
+
+namespace morph::dmr {
+
+template <typename Real>
+struct Pt {
+  Real x{}, y{};
+};
+
+using Pt64 = Pt<double>;
+
+/// Twice the signed area of triangle abc; > 0 iff abc is counter-clockwise.
+template <typename Real>
+Real orient2d(Pt<Real> a, Pt<Real> b, Pt<Real> c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// Incircle determinant. Requires abc counter-clockwise; > 0 iff d lies
+/// strictly inside the circumcircle of abc.
+template <typename Real>
+Real incircle(Pt<Real> a, Pt<Real> b, Pt<Real> c, Pt<Real> d) {
+  const Real adx = a.x - d.x, ady = a.y - d.y;
+  const Real bdx = b.x - d.x, bdy = b.y - d.y;
+  const Real cdx = c.x - d.x, cdy = c.y - d.y;
+  const Real ad2 = adx * adx + ady * ady;
+  const Real bd2 = bdx * bdx + bdy * bdy;
+  const Real cd2 = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) +
+         ad2 * (bdx * cdy - cdx * bdy);
+}
+
+/// Circumcenter of triangle abc (assumed non-degenerate).
+template <typename Real>
+Pt<Real> circumcenter(Pt<Real> a, Pt<Real> b, Pt<Real> c) {
+  const Real abx = b.x - a.x, aby = b.y - a.y;
+  const Real acx = c.x - a.x, acy = c.y - a.y;
+  const Real ab2 = abx * abx + aby * aby;
+  const Real ac2 = acx * acx + acy * acy;
+  const Real d = Real(2) * (abx * acy - aby * acx);
+  return {a.x + (acy * ab2 - aby * ac2) / d,
+          a.y + (abx * ac2 - acx * ab2) / d};
+}
+
+template <typename Real>
+Real dist2(Pt<Real> a, Pt<Real> b) {
+  const Real dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Cosine of the angle at vertex a of triangle abc.
+template <typename Real>
+Real angle_cos_at(Pt<Real> a, Pt<Real> b, Pt<Real> c) {
+  const Real ux = b.x - a.x, uy = b.y - a.y;
+  const Real vx = c.x - a.x, vy = c.y - a.y;
+  const Real dot = ux * vx + uy * vy;
+  const Real len = std::sqrt((ux * ux + uy * uy) * (vx * vx + vy * vy));
+  return len > Real(0) ? dot / len : Real(1);
+}
+
+/// True iff some angle of abc is smaller than the quality bound, i.e. the
+/// largest angle cosine exceeds cos(bound). This is the paper's "bad
+/// triangle" test at a 30-degree bound.
+template <typename Real>
+bool has_small_angle(Pt<Real> a, Pt<Real> b, Pt<Real> c, Real cos_bound) {
+  return angle_cos_at(a, b, c) > cos_bound ||
+         angle_cos_at(b, c, a) > cos_bound ||
+         angle_cos_at(c, a, b) > cos_bound;
+}
+
+/// p lies strictly inside the diametral circle of segment ab (the
+/// encroachment test used for boundary segments).
+template <typename Real>
+bool in_diametral_circle(Pt<Real> a, Pt<Real> b, Pt<Real> p) {
+  return (a.x - p.x) * (b.x - p.x) + (a.y - p.y) * (b.y - p.y) < Real(0);
+}
+
+/// Midpoint of segment ab.
+template <typename Real>
+Pt<Real> midpoint(Pt<Real> a, Pt<Real> b) {
+  return {(a.x + b.x) / Real(2), (a.y + b.y) / Real(2)};
+}
+
+}  // namespace morph::dmr

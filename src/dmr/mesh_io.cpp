@@ -1,0 +1,111 @@
+#include "dmr/mesh_io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace morph::dmr {
+
+void write_triangle_format(const Mesh& m, std::ostream& node_os,
+                           std::ostream& ele_os) {
+  // .node: <#points> <dim> <#attrs> <#boundary markers>
+  node_os << m.num_points() << " 2 0 0\n";
+  node_os.precision(17);
+  for (Vtx v = 0; v < m.num_points(); ++v) {
+    const Pt64 p = m.point(v);
+    node_os << (v + 1) << ' ' << p.x << ' ' << p.y << '\n';
+  }
+  // .ele: <#triangles> <nodes per tri> <#attrs>; live triangles only,
+  // renumbered densely.
+  ele_os << m.num_live() << " 3 0\n";
+  std::size_t id = 1;
+  for (Tri t = 0; t < m.num_slots(); ++t) {
+    if (m.is_deleted(t)) continue;
+    const auto& v = m.verts(t);
+    ele_os << id++ << ' ' << (v[0] + 1) << ' ' << (v[1] + 1) << ' '
+           << (v[2] + 1) << '\n';
+  }
+}
+
+namespace {
+
+/// Reads the next non-comment, non-blank line.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Mesh read_triangle_format(std::istream& node_is, std::istream& ele_is) {
+  Mesh m;
+  std::string line;
+
+  MORPH_CHECK_MSG(next_line(node_is, line), "empty .node file");
+  std::istringstream header(line);
+  std::size_t npoints = 0;
+  int dim = 0;
+  header >> npoints >> dim;
+  MORPH_CHECK_MSG(dim == 2, ".node dimension must be 2");
+  for (std::size_t i = 0; i < npoints; ++i) {
+    MORPH_CHECK_MSG(next_line(node_is, line), "truncated .node file");
+    std::istringstream ls(line);
+    std::size_t idx = 0;
+    double x = 0, y = 0;
+    ls >> idx >> x >> y;
+    MORPH_CHECK_MSG(idx == i + 1, ".node indices must be dense, 1-based");
+    m.add_point(x, y);
+  }
+
+  MORPH_CHECK_MSG(next_line(ele_is, line), "empty .ele file");
+  std::istringstream ele_header(line);
+  std::size_t ntris = 0;
+  int per = 0;
+  ele_header >> ntris >> per;
+  MORPH_CHECK_MSG(per == 3, ".ele must have 3 nodes per triangle");
+
+  // Shared-edge map for neighbor reconstruction: (lo,hi) -> (tri, edge).
+  std::map<std::pair<Vtx, Vtx>, std::pair<Tri, int>> half;
+  for (std::size_t i = 0; i < ntris; ++i) {
+    MORPH_CHECK_MSG(next_line(ele_is, line), "truncated .ele file");
+    std::istringstream ls(line);
+    std::size_t idx = 0, a = 0, b = 0, c = 0;
+    ls >> idx >> a >> b >> c;
+    MORPH_CHECK_MSG(a >= 1 && b >= 1 && c >= 1 && a <= npoints &&
+                        b <= npoints && c <= npoints,
+                    ".ele vertex out of range");
+    const Tri t = m.add_triangle(static_cast<Vtx>(a - 1),
+                                 static_cast<Vtx>(b - 1),
+                                 static_cast<Vtx>(c - 1));
+    for (int e = 0; e < 3; ++e) {
+      const auto [u, v] = m.edge_verts(t, e);
+      const auto key = std::minmax(u, v);
+      auto [it, fresh] = half.try_emplace({key.first, key.second},
+                                          std::pair<Tri, int>{t, e});
+      if (!fresh) {
+        const auto [ot, oe] = it->second;
+        MORPH_CHECK_MSG(m.across(ot, oe) == Mesh::kNone,
+                        "non-manifold edge in .ele");
+        m.set_neighbor(t, e, ot);
+        m.set_neighbor(ot, oe, t);
+      }
+    }
+  }
+  // Unmatched edges are the boundary.
+  for (Tri t = 0; t < m.num_slots(); ++t) {
+    for (int e = 0; e < 3; ++e) {
+      if (m.across(t, e) == Mesh::kNone) m.set_neighbor(t, e, Mesh::kBoundary);
+    }
+  }
+  return m;
+}
+
+}  // namespace morph::dmr

@@ -1,0 +1,23 @@
+// Triangle-format mesh IO (.node / .ele), the format of Shewchuk's Triangle
+// program the paper uses as its sequential baseline. Lets meshes be saved,
+// inspected with standard tools, and re-loaded (neighbor links are
+// reconstructed from shared edges).
+#pragma once
+
+#include <iosfwd>
+
+#include "dmr/mesh.hpp"
+
+namespace morph::dmr {
+
+/// Writes the live triangles as a .node + .ele pair onto two streams.
+void write_triangle_format(const Mesh& m, std::ostream& node_os,
+                           std::ostream& ele_os);
+
+/// Reads a .node/.ele pair and reconstructs the mesh, including the
+/// neighbor matrix and boundary markers. Throws CheckError on malformed
+/// input or non-manifold connectivity (an edge shared by more than two
+/// triangles).
+Mesh read_triangle_format(std::istream& node_is, std::istream& ele_is);
+
+}  // namespace morph::dmr

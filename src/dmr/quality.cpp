@@ -1,0 +1,56 @@
+#include "dmr/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace morph::dmr {
+
+namespace {
+
+double angle_deg(Pt64 a, Pt64 b, Pt64 c) {
+  const double cosv = std::clamp(angle_cos_at(a, b, c), -1.0, 1.0);
+  return std::acos(cosv) * 180.0 / std::numbers::pi;
+}
+
+}  // namespace
+
+QualityReport measure_quality(const Mesh& m) {
+  QualityReport q;
+  q.min_angle_deg = 180.0;
+  for (Tri t = 0; t < m.num_slots(); ++t) {
+    if (m.is_deleted(t)) continue;
+    ++q.triangles;
+    const auto& v = m.verts(t);
+    const Pt64 a = m.point(v[0]), b = m.point(v[1]), c = m.point(v[2]);
+    const double angles[3] = {angle_deg(a, b, c), angle_deg(b, c, a),
+                              angle_deg(c, a, b)};
+    const double tri_min = std::min({angles[0], angles[1], angles[2]});
+    const double tri_max = std::max({angles[0], angles[1], angles[2]});
+    q.min_angle_deg = std::min(q.min_angle_deg, tri_min);
+    q.max_angle_deg = std::max(q.max_angle_deg, tri_max);
+    q.mean_min_angle_deg += tri_min;
+    q.total_area += orient2d(a, b, c) / 2.0;
+    const auto bucket = std::min<std::size_t>(
+        5, static_cast<std::size_t>(tri_min / 10.0));
+    ++q.min_angle_histogram[bucket];
+  }
+  if (q.triangles > 0) {
+    q.mean_min_angle_deg /= static_cast<double>(q.triangles);
+  } else {
+    q.min_angle_deg = 0.0;
+  }
+  return q;
+}
+
+double total_area(const Mesh& m) {
+  double area = 0.0;
+  for (Tri t = 0; t < m.num_slots(); ++t) {
+    if (m.is_deleted(t)) continue;
+    const auto& v = m.verts(t);
+    area += orient2d(m.point(v[0]), m.point(v[1]), m.point(v[2])) / 2.0;
+  }
+  return area;
+}
+
+}  // namespace morph::dmr

@@ -1,0 +1,540 @@
+#include "dmr/refine.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "gpu/worklist.hpp"
+#include "dmr/cavity.hpp"
+#include "support/timer.hpp"
+
+namespace morph::dmr {
+
+namespace {
+
+/// Charges one uncoalesced global access per neighborhood element whose slot
+/// id is far from the candidate's — the effect the memory-layout
+/// optimization (Sec. 6.1) buys back: after the BFS reorder, a cavity's
+/// triangles have nearby ids and hit the same cache lines.
+void charge_locality(gpu::ThreadCtx& ctx, Tri candidate,
+                     std::span<const Tri> hood) {
+  constexpr std::int64_t kWindow = 256;
+  for (Tri t : hood) {
+    const std::int64_t d = static_cast<std::int64_t>(t) -
+                           static_cast<std::int64_t>(candidate);
+    if (d > kWindow || d < -kWindow) ctx.global_access();
+  }
+}
+
+}  // namespace
+
+RefineStats refine_serial(Mesh& m, const RefineOptions& opts) {
+  Timer timer;
+  RefineStats st;
+  const double cb = cos_of_deg(opts.min_angle_deg);
+  st.initial_bad = m.compute_all_bad(opts.min_angle_deg);
+
+  core::SlotRecycler recycler(opts.recycle ? 1u << 22 : 0u);
+  std::vector<Tri> work;
+  work.reserve(st.initial_bad);
+  for (Tri t = 0; t < m.num_slots(); ++t) {
+    if (!m.is_deleted(t) && m.is_bad(t)) work.push_back(t);
+  }
+
+  std::vector<Tri> added;
+  while (!work.empty()) {
+    const Tri t = work.back();
+    work.pop_back();
+    if (m.is_deleted(t) || !m.is_bad(t)) continue;
+    Cavity c = build_refinement_cavity(m, t, opts.use_float);
+    added.clear();
+    retriangulate(m, c, cb, opts.recycle ? &recycler : nullptr, &added);
+    if (opts.recycle) {
+      for (Tri d : c.tris) recycler.give(d);
+    }
+    for (Tri a : added) {
+      if (m.is_bad(a)) work.push_back(a);
+    }
+    // A segment split's cavity need not contain the bad triangle that
+    // triggered it; requeue it until it is actually fixed.
+    if (!m.is_deleted(t) && m.is_bad(t)) work.push_back(t);
+    ++st.processed;
+  }
+  st.rounds = st.processed;
+  st.final_triangles = m.num_live();
+  st.wall_seconds = timer.seconds();
+  return st;
+}
+
+RefineStats refine_multicore(Mesh& m, cpu::ParallelRunner& runner,
+                             const RefineOptions& opts) {
+  Timer timer;
+  RefineStats st;
+  const double cb = cos_of_deg(opts.min_angle_deg);
+  st.initial_bad = m.compute_all_bad(opts.min_angle_deg);
+
+  core::SlotRecycler recycler(opts.recycle ? 1u << 22 : 0u);
+  std::vector<Tri> candidates;
+  for (Tri t = 0; t < m.num_slots(); ++t) {
+    if (!m.is_deleted(t) && m.is_bad(t)) candidates.push_back(t);
+  }
+
+  std::vector<Tri> next;
+  std::vector<Tri> added;
+  while (!candidates.empty() && st.rounds < opts.max_rounds) {
+    ++st.rounds;
+    next.clear();
+    // Per-round speculation state: element -> claiming item index.
+    std::unordered_map<Tri, std::uint64_t> claims;
+    runner.round(candidates.size(), [&](cpu::WorkerCtx& ctx,
+                                        std::uint64_t i) {
+      const Tri t = candidates[i];
+      ctx.work(1);
+      if (m.is_deleted(t) || !m.is_bad(t)) return;
+      Cavity c = build_refinement_cavity(m, t, opts.use_float);
+      ctx.work(c.steps);
+      const std::vector<Tri> hood = c.neighborhood(m);
+      // Optimistic per-element locking, Galois style: abort on conflict.
+      ctx.sync_op(hood.size());
+      for (Tri e : hood) {
+        auto it = claims.find(e);
+        if (it != claims.end() && it->second != i) {
+          ++st.aborted;
+          next.push_back(t);  // retry next round
+          return;
+        }
+      }
+      for (Tri e : hood) claims[e] = i;
+      added.clear();
+      retriangulate(m, c, cb, opts.recycle ? &recycler : nullptr, &added);
+      ctx.work(c.tris.size() + added.size());
+      if (opts.recycle) {
+        for (Tri d : c.tris) recycler.give(d);
+      }
+      for (Tri a : added) {
+        if (m.is_bad(a)) next.push_back(a);
+      }
+      // Requeue a triangle left bad by a segment split (see refine_serial).
+      if (!m.is_deleted(t) && m.is_bad(t)) next.push_back(t);
+      ++st.processed;
+    });
+    candidates.swap(next);
+  }
+  st.final_triangles = m.num_live();
+  st.wall_seconds = timer.seconds();
+  st.modeled_cycles = runner.stats().modeled_cycles;
+  return st;
+}
+
+RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
+  Timer timer;
+  RefineStats st;
+  const double cb = cos_of_deg(opts.min_angle_deg);
+
+  if (opts.layout_opt) m.compact_and_reorder();
+
+  // Block count proportional to the input size (Sec. 7.4). The divisor is
+  // chosen so a thread's local worklist (its contiguous chunk, Sec. 7.5)
+  // covers a few dozen triangles at full occupancy — the proportion the
+  // paper's 3x..50x SM range implies for its inputs.
+  const double sm_factor =
+      opts.sm_factor > 0.0
+          ? opts.sm_factor
+          : std::clamp(static_cast<double>(m.num_slots()) /
+                           (16384.0 * dev.config().num_sms),
+                       3.0, 50.0);
+
+  // Transfer of the initial mesh (main() in Fig. 3).
+  dev.note_copy(m.num_slots() * (3 * sizeof(Vtx) + 3 * sizeof(Tri)) +
+                m.num_points() * 2 * sizeof(double));
+
+  // Memory strategy (Sec. 7.1). `reserved_slots` is the model-side view of
+  // how much device storage has been cudaMalloc'ed for triangles.
+  std::uint64_t reserved_slots;
+  if (opts.prealloc) {
+    reserved_slots = m.num_slots() * 12;  // generous static bound
+    dev.note_host_alloc(reserved_slots * (3 * sizeof(Vtx) + 3 * sizeof(Tri)));
+  } else {
+    reserved_slots = m.num_slots();
+    dev.note_host_alloc(reserved_slots * (3 * sizeof(Vtx) + 3 * sizeof(Tri)));
+  }
+  auto ensure_reserved = [&](std::uint64_t needed) {
+    if (needed <= reserved_slots) return;
+    const std::uint64_t bytes_now =
+        m.num_slots() * (3 * sizeof(Vtx) + 3 * sizeof(Tri));
+    reserved_slots = needed + needed / 2;
+    dev.note_realloc(bytes_now);
+    dev.note_host_alloc(reserved_slots * (3 * sizeof(Vtx) + 3 * sizeof(Tri)));
+  };
+
+  // initialize_kernel: compute bad flags (real work, charged per slot).
+  std::int64_t bad_count = 0;
+  {
+    const gpu::LaunchConfig lc =
+        core::fixed_config(dev.config(), sm_factor, 256);
+    const std::uint64_t n = m.num_slots();
+    const std::uint64_t T = lc.total_threads();
+    std::atomic<std::int64_t> bad_total{0};
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      std::int64_t local = 0;
+      for (std::uint64_t i = ctx.tid(); i < n; i += T) {
+        ctx.work(1);
+        if (m.is_deleted(static_cast<Tri>(i))) continue;
+        const bool bad = opts.use_float
+                             ? m.check_bad_f(static_cast<Tri>(i),
+                                             static_cast<float>(cb))
+                             : m.check_bad(static_cast<Tri>(i), cb);
+        m.set_bad(static_cast<Tri>(i), bad);
+        local += bad ? 1 : 0;
+      }
+      if (local) bad_total.fetch_add(local, std::memory_order_relaxed);
+    });
+    bad_count = bad_total.load();
+  }
+  st.initial_bad = static_cast<std::uint64_t>(bad_count);
+
+  core::SlotRecycler recycler(opts.recycle ? 1u << 22 : 0u);
+  core::MarkTable marks(m.num_slots());
+  core::AdaptiveLauncher launcher(opts.initial_tpb, 3, sm_factor);
+  std::mutex apply_mu;
+
+  while (bad_count > 0 && st.rounds < opts.max_rounds) {
+    ++st.rounds;
+    const std::uint64_t nslots = m.num_slots();
+    const gpu::LaunchConfig lc =
+        opts.adaptive ? launcher.next(dev.config())
+                      : core::fixed_config(dev.config(), sm_factor,
+                                           opts.fixed_tpb);
+    const std::uint64_t T = lc.total_threads();
+
+    if (marks.size() < nslots) marks.resize(nslots + nslots / 2);
+    marks.reset();
+
+    // Host pre-calculation of the next kernel's memory needs (Host-Only).
+    ensure_reserved(m.num_slots() +
+                    static_cast<std::uint64_t>(
+                        std::min<std::int64_t>(bad_count,
+                                               static_cast<std::int64_t>(T))) *
+                        8);
+
+    const std::uint64_t chunk = (nslots + T - 1) / T;
+    std::vector<Cavity> cav(T);
+    std::vector<std::vector<Tri>> hood(T);
+    std::vector<std::uint8_t> active(T, 0), owns(T, 0);
+    std::atomic<std::uint64_t> round_processed{0}, round_aborted{0};
+
+    // --- phase 1: find a bad triangle, build its cavity, race-mark ---
+    //
+    // Topology-driven with local worklists (Sec. 7.5): thread t owns the
+    // contiguous chunk [t*chunk, (t+1)*chunk) of the triangle array — a
+    // pseudo-partition of the mesh after the layout optimization — and
+    // refines the first bad triangle in it. With divergence sorting
+    // (Sec. 7.6) the block has moved its bad triangles to one side, so the
+    // pickup is O(1) + the thread's share of the block-level sort; without
+    // it the thread scans its chunk, and scan lengths diverge across the
+    // warp.
+    auto phase_race = [&](gpu::ThreadCtx& ctx) {
+      const std::uint32_t t = ctx.tid();
+      Tri target = Mesh::kNone;
+      const std::uint64_t lo = static_cast<std::uint64_t>(t) * chunk;
+      const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, nslots);
+      std::uint64_t scanned = 0;
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        ++scanned;
+        if (!m.is_deleted(static_cast<Tri>(i)) &&
+            m.is_bad(static_cast<Tri>(i))) {
+          target = static_cast<Tri>(i);
+          break;
+        }
+      }
+      if (opts.divergence_sort) {
+        // Uniform per-thread cost: sorted pickup plus sort share.
+        std::uint64_t sort_share = 1;
+        for (std::uint64_t c = chunk; c > 1; c >>= 1) ++sort_share;
+        ctx.work(sort_share);
+      } else {
+        ctx.work(scanned);
+      }
+      if (target == Mesh::kNone) return;
+      cav[t] = build_refinement_cavity(m, target, opts.use_float);
+      // Single-precision containment tests (Fig. 8 row 7): half the
+      // arithmetic and memory traffic of the double-precision path.
+      ctx.work(opts.use_float ? cav[t].steps / 2 : cav[t].steps);
+      hood[t] = cav[t].neighborhood(m);
+      charge_locality(ctx, target, hood[t]);
+      active[t] = 1;
+      if (opts.scheme != core::ConflictScheme::kLocks) {
+        marks.race_mark(ctx, t, hood[t]);
+      }
+    };
+
+    // --- the apply step shared by all schemes ---
+    auto apply = [&](gpu::ThreadCtx& ctx, std::uint32_t t) {
+      std::scoped_lock lock(apply_mu);
+      std::int64_t bad_in_cavity = 0;
+      for (Tri d : cav[t].tris) bad_in_cavity += m.is_bad(d) ? 1 : 0;
+      std::vector<Tri> added;
+      const RetriangulateResult res = retriangulate(
+          m, cav[t], cb, opts.recycle ? &recycler : nullptr, &added);
+      ctx.work(cav[t].tris.size() + added.size());
+      if (opts.recycle) {
+        for (Tri d : cav[t].tris) recycler.give(d);
+      }
+      bad_count += static_cast<std::int64_t>(res.new_bad) - bad_in_cavity;
+      ++round_processed;
+    };
+
+    std::vector<gpu::KernelFn> phases;
+    phases.push_back(phase_race);
+    switch (opts.scheme) {
+      case core::ConflictScheme::kLocks: {
+        // Single phase: claim per-element locks in id order, apply, done.
+        phases.clear();
+        phases.push_back([&](gpu::ThreadCtx& ctx) {
+          phase_race(ctx);
+          const std::uint32_t t = ctx.tid();
+          if (!active[t]) return;
+          if (marks.try_claim(ctx, t, hood[t])) {
+            owns[t] = 1;
+            apply(ctx, t);
+            // Unlock at the end of the operation.
+            ctx.atomic_op(hood[t].size());
+          } else {
+            // A real lock-based kernel spins before giving up; charge the
+            // retries that make mutual exclusion "ill-suited for GPUs".
+            constexpr std::uint64_t kSpinRetries = 8;
+            ctx.atomic_op(kSpinRetries * hood[t].size());
+            ++round_aborted;
+          }
+        });
+        break;
+      }
+      case core::ConflictScheme::kTwoPhaseRaceCheck:
+        phases.push_back([&](gpu::ThreadCtx& ctx) {
+          const std::uint32_t t = ctx.tid();
+          if (!active[t]) return;
+          if (marks.exact_check(ctx, t, hood[t])) {
+            owns[t] = 1;
+            apply(ctx, t);
+          } else {
+            ++round_aborted;
+          }
+        });
+        break;
+      case core::ConflictScheme::kTwoPhasePriority:
+        phases.push_back([&](gpu::ThreadCtx& ctx) {
+          const std::uint32_t t = ctx.tid();
+          if (!active[t]) return;
+          if (marks.priority_check(ctx, t, hood[t])) {
+            owns[t] = 1;
+            apply(ctx, t);
+          } else {
+            ++round_aborted;
+          }
+        });
+        break;
+      case core::ConflictScheme::kThreePhase:
+        phases.push_back([&](gpu::ThreadCtx& ctx) {
+          const std::uint32_t t = ctx.tid();
+          if (!active[t]) return;
+          owns[t] = marks.priority_check(ctx, t, hood[t]) ? 1 : 0;
+        });
+        phases.push_back([&](gpu::ThreadCtx& ctx) {
+          const std::uint32_t t = ctx.tid();
+          if (!active[t]) return;
+          if (owns[t] && marks.final_check(ctx, t, hood[t])) {
+            apply(ctx, t);
+          } else {
+            owns[t] = 0;
+            ++round_aborted;
+          }
+        });
+        break;
+    }
+    dev.launch_phases(lc, phases, opts.barrier);
+    st.processed += round_processed;
+    st.aborted += round_aborted;
+
+    // Live-lock fallback (Sec. 7.3): if every cavity aborted, refine one bad
+    // triangle with a single-thread kernel.
+    if (round_processed == 0 && bad_count > 0) {
+      ++st.fallbacks;
+      dev.launch({1, 1}, [&](gpu::ThreadCtx& ctx) {
+        for (Tri t = 0; t < m.num_slots(); ++t) {
+          ctx.work(1);
+          if (m.is_deleted(t) || !m.is_bad(t)) continue;
+          Cavity c = build_refinement_cavity(m, t, opts.use_float);
+          ctx.work(c.steps);
+          std::int64_t bad_in_cavity = 0;
+          for (Tri d : c.tris) bad_in_cavity += m.is_bad(d) ? 1 : 0;
+          const RetriangulateResult res = retriangulate(
+              m, c, cb, opts.recycle ? &recycler : nullptr, nullptr);
+          if (opts.recycle) {
+            for (Tri d : c.tris) recycler.give(d);
+          }
+          bad_count += static_cast<std::int64_t>(res.new_bad) - bad_in_cavity;
+          ++st.processed;
+          break;
+        }
+      });
+    }
+  }
+  MORPH_CHECK_MSG(bad_count == 0, "refinement hit the round limit");
+
+  // Transfer of the refined mesh back to the host.
+  dev.note_copy(m.num_slots() * (3 * sizeof(Vtx) + 3 * sizeof(Tri)) +
+                m.num_points() * 2 * sizeof(double));
+
+  st.final_triangles = m.num_live();
+  st.wall_seconds = timer.seconds();
+  st.modeled_cycles = dev.stats().modeled_cycles;
+  return st;
+}
+
+RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
+                                  const RefineOptions& opts) {
+  Timer timer;
+  RefineStats st;
+  const double cb = cos_of_deg(opts.min_angle_deg);
+  if (opts.layout_opt) m.compact_and_reorder();
+
+  std::int64_t bad_count =
+      static_cast<std::int64_t>(m.compute_all_bad(opts.min_angle_deg));
+  st.initial_bad = static_cast<std::uint64_t>(bad_count);
+
+  // The centralized worklist. Sized generously; push failures fall back to
+  // the next refill sweep.
+  gpu::GlobalWorklist<Tri> worklist(std::max<std::size_t>(
+      1u << 16, m.num_slots() * 4));
+  {
+    gpu::ThreadCtx seed_ctx;  // host-side fill, charged to the first kernel
+    for (Tri t = 0; t < m.num_slots(); ++t) {
+      if (!m.is_deleted(t) && m.is_bad(t)) worklist.push(seed_ctx, t);
+    }
+  }
+
+  core::SlotRecycler recycler(opts.recycle ? 1u << 22 : 0u);
+  core::MarkTable marks(m.num_slots());
+  core::AdaptiveLauncher launcher(
+      opts.initial_tpb, 3,
+      std::clamp(static_cast<double>(m.num_slots()) /
+                     (16384.0 * dev.config().num_sms),
+                 3.0, 50.0));
+  std::mutex apply_mu;
+
+  while (bad_count > 0 && st.rounds < opts.max_rounds) {
+    ++st.rounds;
+    const std::uint64_t nslots = m.num_slots();
+    const gpu::LaunchConfig lc = launcher.next(dev.config());
+    const std::uint64_t T = lc.total_threads();
+    if (marks.size() < nslots) marks.resize(nslots + nslots / 2);
+    marks.reset();
+
+    std::vector<Cavity> cav(T);
+    std::vector<std::vector<Tri>> hood(T);
+    std::vector<Tri> cand(T, Mesh::kNone);
+    std::vector<std::uint8_t> owns(T, 0);
+    std::atomic<std::uint64_t> round_processed{0}, round_aborted{0};
+
+    const gpu::KernelFn phases[3] = {
+        [&](gpu::ThreadCtx& ctx) {
+          const std::uint32_t t = ctx.tid();
+          // Pop until a live bad triangle appears (stale ids are skipped).
+          for (;;) {
+            const auto popped = worklist.pop(ctx);
+            if (!popped) return;
+            const Tri x = *popped;
+            ctx.work(1);
+            if (x < m.num_slots() && !m.is_deleted(x) && m.is_bad(x)) {
+              cand[t] = x;
+              break;
+            }
+          }
+          cav[t] = build_refinement_cavity(m, cand[t], opts.use_float);
+          ctx.work(opts.use_float ? cav[t].steps / 2 : cav[t].steps);
+          hood[t] = cav[t].neighborhood(m);
+          charge_locality(ctx, cand[t], hood[t]);
+          marks.race_mark(ctx, t, hood[t]);
+        },
+        [&](gpu::ThreadCtx& ctx) {
+          const std::uint32_t t = ctx.tid();
+          if (cand[t] == Mesh::kNone) return;
+          owns[t] = marks.priority_check(ctx, t, hood[t]) ? 1 : 0;
+        },
+        [&](gpu::ThreadCtx& ctx) {
+          const std::uint32_t t = ctx.tid();
+          if (cand[t] == Mesh::kNone) return;
+          if (owns[t] && marks.final_check(ctx, t, hood[t])) {
+            std::scoped_lock lock(apply_mu);
+            std::int64_t bad_in_cavity = 0;
+            for (Tri d : cav[t].tris) bad_in_cavity += m.is_bad(d) ? 1 : 0;
+            std::vector<Tri> added;
+            const RetriangulateResult res = retriangulate(
+                m, cav[t], cb, opts.recycle ? &recycler : nullptr, &added);
+            ctx.work(cav[t].tris.size() + added.size());
+            if (opts.recycle) {
+              for (Tri d : cav[t].tris) recycler.give(d);
+            }
+            for (Tri a : added) {
+              if (m.is_bad(a)) worklist.push(ctx, a);
+            }
+            if (!m.is_deleted(cand[t]) && m.is_bad(cand[t])) {
+              worklist.push(ctx, cand[t]);  // segment-split leftovers
+            }
+            bad_count += static_cast<std::int64_t>(res.new_bad) -
+                         bad_in_cavity;
+            ++round_processed;
+          } else {
+            worklist.push(ctx, cand[t]);  // aborted: requeue
+            ++round_aborted;
+          }
+        },
+    };
+    dev.launch_phases(lc, phases, opts.barrier);
+    st.processed += round_processed;
+    st.aborted += round_aborted;
+
+    // Refill sweep when pushes were dropped or the queue ran dry while bad
+    // triangles remain (also the live-lock escape: the refill reorders).
+    if (bad_count > 0 && worklist.size() == 0) {
+      worklist.reset();
+      gpu::ThreadCtx refill_ctx;
+      for (Tri t = 0; t < m.num_slots(); ++t) {
+        if (!m.is_deleted(t) && m.is_bad(t)) worklist.push(refill_ctx, t);
+      }
+      ++st.fallbacks;
+    }
+    // Live-lock fallback as in the topology-driven driver: a fully aborted
+    // round is resolved by refining one triangle serially.
+    if (round_processed == 0 && bad_count > 0) {
+      ++st.fallbacks;
+      dev.launch({1, 1}, [&](gpu::ThreadCtx& ctx) {
+        for (Tri t = 0; t < m.num_slots(); ++t) {
+          ctx.work(1);
+          if (m.is_deleted(t) || !m.is_bad(t)) continue;
+          Cavity c = build_refinement_cavity(m, t, opts.use_float);
+          std::int64_t bad_in_cavity = 0;
+          for (Tri d : c.tris) bad_in_cavity += m.is_bad(d) ? 1 : 0;
+          const RetriangulateResult res = retriangulate(
+              m, c, cb, opts.recycle ? &recycler : nullptr, nullptr);
+          if (opts.recycle) {
+            for (Tri d : c.tris) recycler.give(d);
+          }
+          bad_count += static_cast<std::int64_t>(res.new_bad) - bad_in_cavity;
+          ++st.processed;
+          break;
+        }
+      });
+    }
+  }
+  MORPH_CHECK_MSG(bad_count == 0, "data-driven refinement stalled");
+
+  st.final_triangles = m.num_live();
+  st.wall_seconds = timer.seconds();
+  st.modeled_cycles = dev.stats().modeled_cycles;
+  return st;
+}
+
+}  // namespace morph::dmr

@@ -1,0 +1,83 @@
+// Delaunay mesh refinement drivers.
+//
+// Three implementations of the same refinement algorithm, mirroring the
+// paper's comparison:
+//   refine_serial    — the "Triangle program" stand-in: one cavity at a time.
+//   refine_multicore — Galois-style optimistic speculation over T virtual
+//                      workers with per-element CAS locks and aborts.
+//   refine_gpu       — the paper's GPU algorithm (Fig. 3): rounds of
+//                      3-phase race / prioritycheck / check conflict
+//                      resolution with a global barrier between phases,
+//                      adaptive kernel configuration, divergence sorting,
+//                      memory-layout optimization, and slot recycling.
+#pragma once
+
+#include <cstdint>
+
+#include "core/conflict.hpp"
+#include "dmr/mesh.hpp"
+#include "gpu/cpu_runner.hpp"
+#include "gpu/device.hpp"
+
+namespace morph::dmr {
+
+struct RefineOptions {
+  double min_angle_deg = 30.0;
+
+  // GPU-implementation toggles (Fig. 8 ablation arms).
+  core::ConflictScheme scheme = core::ConflictScheme::kThreePhase;
+  gpu::BarrierKind barrier = gpu::BarrierKind::kHierarchical;
+  bool layout_opt = true;       ///< BFS-reorder the mesh first (Sec. 6.1)
+  bool adaptive = true;         ///< adaptive kernel configuration (Sec. 7.4)
+  bool divergence_sort = true;  ///< pack bad triangles first (Sec. 7.6)
+  bool use_float = false;       ///< single-precision cavity tests
+  bool recycle = true;          ///< reuse deleted slots (Sec. 7.2 Recycle)
+  bool prealloc = false;        ///< pre-allocate max storage vs on-demand
+
+  std::uint32_t initial_tpb = 64;  ///< paper: DMR starts at 64 and doubles
+  /// Static threads-per-block used when `adaptive` is off. A fixed
+  /// configuration must be provisioned for the peak parallelism, which is
+  /// exactly what the adaptive scheme avoids early on (Sec. 7.4).
+  std::uint32_t fixed_tpb = 512;
+  /// Blocks per SM; <= 0 selects automatically from the input size
+  /// (proportional, clamped to the paper's 3x..50x SM range).
+  double sm_factor = 0.0;
+  std::uint64_t max_rounds = 1u << 20;
+};
+
+struct RefineStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t processed = 0;       ///< cavities successfully applied
+  std::uint64_t aborted = 0;         ///< cavities built but lost to conflict
+  std::uint64_t fallbacks = 0;       ///< serial live-lock fallback rounds
+  std::uint64_t initial_bad = 0;
+  std::uint64_t final_triangles = 0;
+  double wall_seconds = 0.0;
+  double modeled_cycles = 0.0;
+
+  double abort_ratio() const {
+    const double total = static_cast<double>(processed + aborted);
+    return total > 0 ? static_cast<double>(aborted) / total : 0.0;
+  }
+};
+
+/// Sequential refinement; processes bad triangles with a LIFO worklist.
+RefineStats refine_serial(Mesh& m, const RefineOptions& opts = {});
+
+/// Round-based optimistic multicore refinement on the given runner.
+RefineStats refine_multicore(Mesh& m, cpu::ParallelRunner& runner,
+                             const RefineOptions& opts = {});
+
+/// The paper's GPU implementation on the SIMT simulator.
+RefineStats refine_gpu(Mesh& m, gpu::Device& dev,
+                       const RefineOptions& opts = {});
+
+/// The *data-driven* alternative the paper rejects (Sec. 2): bad triangles
+/// are dispensed from a centralized worklist whose every push and pop is an
+/// atomic operation. Same 3-phase conflict resolution, same result; kept so
+/// the worklist ablation can quantify the centralized-queue bottleneck
+/// against the topology-driven local-worklist design.
+RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
+                                  const RefineOptions& opts = {});
+
+}  // namespace morph::dmr

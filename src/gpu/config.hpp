@@ -1,0 +1,83 @@
+// Configuration of the simulated GPU device and of kernel launches.
+//
+// The simulator models the machine the paper evaluates on: an NVIDIA Tesla
+// C2070 (Fermi) with 14 SMs, 32-wide warps, and up to 48 resident warps per
+// SM. Cost parameters are expressed in abstract "cycles"; only *relative*
+// costs matter for reproducing the paper's comparisons (e.g., atomics are an
+// order of magnitude more expensive than plain steps, which is what makes the
+// naive global barrier lose to the hierarchical one).
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace morph::gpu {
+
+/// Flavours of intra-kernel global barrier (paper Sec. 7.3, "Barrier
+/// implementation").
+enum class BarrierKind {
+  /// Every thread atomically decrements a global counter and spins.
+  kNaiveAtomic,
+  /// Threads synchronize within a block (__syncthreads) and one
+  /// representative per block joins a global atomic barrier.
+  kHierarchical,
+  /// Xiao & Feng's lock-free barrier, augmented with __threadfence() for
+  /// cached (Fermi) GPUs as the paper describes.
+  kLockFree,
+};
+
+/// Simulated device parameters and cost model.
+struct DeviceConfig {
+  std::uint32_t num_sms = 14;
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_warps_per_sm = 48;
+
+  // --- cost model (abstract cycles) ---
+  double step_cost = 1.0;            ///< one counted unit of thread work
+  double global_mem_cost = 4.0;      ///< one counted global-memory access
+  /// Memory-level parallelism for uncoalesced accesses: they consume
+  /// device-wide bandwidth, far below the compute warp concurrency.
+  double mem_concurrency = 32.0;
+  double atomic_cost = 32.0;         ///< one atomic RMW (serialized)
+  double atomic_concurrency = 4.0;   ///< effective parallelism of atomics
+  double kernel_launch_overhead = 4000.0;
+  double syncthreads_cost = 8.0;     ///< per block, per barrier
+  double alloc_overhead = 2000.0;    ///< per cudaMalloc-style allocation
+  double copy_cost_per_byte = 0.002; ///< realloc / explicit transfer copies
+
+  std::uint64_t shared_mem_bytes = 48 * 1024;  ///< per block (48 KB config)
+
+  /// Number of host worker threads used to execute blocks. 1 (the default)
+  /// gives fully deterministic simulation; larger values exercise real
+  /// concurrency between logical GPU threads.
+  std::uint32_t host_workers = 1;
+
+  /// When true, logical threads within a phase run in a seeded pseudo-random
+  /// order instead of ascending id, to exercise order-independence.
+  bool shuffle_threads = false;
+  std::uint64_t shuffle_seed = 1;
+
+  /// Total concurrently resident warps (device-wide occupancy bound).
+  double warp_slots() const {
+    return static_cast<double>(num_sms) * static_cast<double>(max_warps_per_sm);
+  }
+};
+
+/// Grid geometry of one kernel launch.
+struct LaunchConfig {
+  std::uint32_t blocks = 1;
+  std::uint32_t threads_per_block = 32;
+
+  std::uint64_t total_threads() const {
+    return static_cast<std::uint64_t>(blocks) * threads_per_block;
+  }
+
+  void validate() const {
+    MORPH_CHECK(blocks > 0);
+    MORPH_CHECK(threads_per_block > 0);
+    MORPH_CHECK(threads_per_block <= 1024);  // Fermi limit
+  }
+};
+
+}  // namespace morph::gpu

@@ -1,0 +1,162 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace morph::gpu {
+
+Device::Device(DeviceConfig cfg) : cfg_(cfg), pool_(cfg.host_workers) {}
+
+KernelStats Device::launch(const LaunchConfig& lc, const KernelFn& fn) {
+  const KernelFn phases[1] = {fn};
+  return launch_phases(lc, std::span<const KernelFn>(phases, 1));
+}
+
+double Device::barrier_cycles(BarrierKind kind, const LaunchConfig& lc) const {
+  const double threads = static_cast<double>(lc.total_threads());
+  const double blocks = static_cast<double>(lc.blocks);
+  switch (kind) {
+    case BarrierKind::kNaiveAtomic:
+      // Every thread performs an atomic RMW on one global counter (the
+      // hardware coalesces same-address atomics somewhat, hence the
+      // concurrency divisor), plus spinning on the shared variable.
+      return threads * cfg_.atomic_cost / cfg_.atomic_concurrency;
+    case BarrierKind::kHierarchical:
+      // __syncthreads per block, then one atomic per block representative.
+      return blocks * (cfg_.syncthreads_cost + cfg_.atomic_cost);
+    case BarrierKind::kLockFree:
+      // Xiao-Feng: block representatives write/poll distinct slots (no
+      // atomics); plus a __threadfence per representative on Fermi.
+      return blocks * (cfg_.syncthreads_cost + 3.0 * cfg_.global_mem_cost);
+  }
+  return 0.0;
+}
+
+KernelStats Device::launch_phases(const LaunchConfig& lc,
+                                  std::span<const KernelFn> phases,
+                                  BarrierKind barrier) {
+  lc.validate();
+  MORPH_CHECK(!phases.empty());
+
+  const std::uint64_t total_threads = lc.total_threads();
+  const std::uint32_t warps_per_block =
+      (lc.threads_per_block + cfg_.warp_size - 1) / cfg_.warp_size;
+  const std::uint64_t total_warps =
+      static_cast<std::uint64_t>(lc.blocks) * warps_per_block;
+
+  KernelStats ks;
+  ks.logical_threads = total_threads;
+  ks.warps = total_warps;
+  ks.phases = static_cast<std::uint32_t>(phases.size());
+
+  // Thread execution order within a phase. Blocks are the unit of host
+  // parallelism; within a block threads run in ascending (or shuffled) order.
+  std::vector<std::uint32_t> order;
+  if (cfg_.shuffle_threads) {
+    order.resize(lc.threads_per_block);
+    std::iota(order.begin(), order.end(), 0u);
+    Rng rng(cfg_.shuffle_seed);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  double compute_cycles = 0.0;
+  for (const KernelFn& phase : phases) {
+    // Per-warp maxima and per-phase totals, gathered per block then reduced.
+    std::atomic<std::uint64_t> phase_work{0};
+    std::atomic<std::uint64_t> phase_atomics{0};
+    std::atomic<std::uint64_t> phase_mem{0};
+    std::atomic<std::uint64_t> phase_warp_steps{0};
+    std::atomic<std::uint64_t> phase_max_thread{0};
+
+    pool_.run_all(lc.blocks, [&](std::uint64_t b) {
+      std::uint64_t block_work = 0, block_atomics = 0, block_mem = 0;
+      std::uint64_t block_warp_steps = 0, block_max_thread = 0;
+      std::vector<std::uint64_t> warp_max(warps_per_block, 0);
+
+      for (std::uint32_t i = 0; i < lc.threads_per_block; ++i) {
+        const std::uint32_t tib = cfg_.shuffle_threads ? order[i] : i;
+        ThreadCtx ctx;
+        ctx.tid_ = static_cast<std::uint32_t>(b) * lc.threads_per_block + tib;
+        ctx.block_ = static_cast<std::uint32_t>(b);
+        ctx.tib_ = tib;
+        ctx.tpb_ = lc.threads_per_block;
+        ctx.warp_size_ = cfg_.warp_size;
+        ctx.grid_threads_ = static_cast<std::uint32_t>(total_threads);
+        phase(ctx);
+        block_work += ctx.work_;
+        block_atomics += ctx.atomics_;
+        block_mem += ctx.mem_;
+        block_max_thread = std::max(block_max_thread, ctx.work_);
+        auto& wm = warp_max[tib / cfg_.warp_size];
+        wm = std::max(wm, ctx.work_);
+      }
+      for (std::uint64_t wm : warp_max) block_warp_steps += wm;
+
+      phase_work.fetch_add(block_work, std::memory_order_relaxed);
+      phase_atomics.fetch_add(block_atomics, std::memory_order_relaxed);
+      phase_mem.fetch_add(block_mem, std::memory_order_relaxed);
+      phase_warp_steps.fetch_add(block_warp_steps, std::memory_order_relaxed);
+      std::uint64_t prev = phase_max_thread.load(std::memory_order_relaxed);
+      while (prev < block_max_thread &&
+             !phase_max_thread.compare_exchange_weak(
+                 prev, block_max_thread, std::memory_order_relaxed)) {
+      }
+    });
+
+    ks.total_work += phase_work.load();
+    ks.atomics += phase_atomics.load();
+    ks.global_accesses += phase_mem.load();
+    ks.warp_steps += phase_warp_steps.load();
+    ks.max_thread_work = std::max(ks.max_thread_work, phase_max_thread.load());
+
+    // Makespan of this phase: warp steps spread over the device's resident
+    // warp slots (but never better than the slowest warp), plus serialized
+    // atomic and memory surcharges.
+    const double concurrency =
+        std::min(cfg_.warp_slots(), static_cast<double>(total_warps));
+    const double steps = static_cast<double>(phase_warp_steps.load());
+    compute_cycles += steps * cfg_.step_cost / std::max(concurrency, 1.0);
+    compute_cycles += static_cast<double>(phase_atomics.load()) *
+                      cfg_.atomic_cost / cfg_.atomic_concurrency;
+    compute_cycles += static_cast<double>(phase_mem.load()) *
+                      cfg_.global_mem_cost /
+                      std::min(cfg_.mem_concurrency, concurrency);
+  }
+
+  ks.modeled_cycles = cfg_.kernel_launch_overhead + compute_cycles +
+                      static_cast<double>(phases.size() - 1) *
+                          barrier_cycles(barrier, lc);
+  stats_.absorb(ks);
+  return ks;
+}
+
+void Device::note_host_alloc(std::uint64_t bytes) {
+  ++stats_.host_allocs;
+  stats_.bytes_allocated += bytes;
+  stats_.modeled_cycles += cfg_.alloc_overhead;
+}
+
+void Device::note_realloc(std::uint64_t bytes_copied) {
+  ++stats_.reallocs;
+  stats_.bytes_copied += bytes_copied;
+  stats_.modeled_cycles +=
+      static_cast<double>(bytes_copied) * cfg_.copy_cost_per_byte;
+}
+
+void Device::note_device_malloc(std::uint64_t bytes) {
+  ++stats_.device_mallocs;
+  stats_.bytes_allocated += bytes;
+  stats_.modeled_cycles += cfg_.alloc_overhead / 4.0;  // heap suballocation
+}
+
+void Device::note_copy(std::uint64_t bytes) {
+  stats_.bytes_copied += bytes;
+  stats_.modeled_cycles +=
+      static_cast<double>(bytes) * cfg_.copy_cost_per_byte;
+}
+
+}  // namespace morph::gpu

@@ -1,0 +1,111 @@
+// The SIMT bulk-synchronous execution-model simulator.
+//
+// This module stands in for the CUDA runtime + Fermi GPU the paper evaluates
+// on (see DESIGN.md, "Substitutions"). A kernel is a C++ callable invoked
+// once per logical thread of a (blocks x threads_per_block) grid. A
+// multi-phase launch models a kernel containing intra-kernel *global
+// barriers* (the race / prioritycheck / check phases of the paper's 3-phase
+// conflict-resolution scheme): all logical threads complete phase i before
+// any runs phase i+1, exactly the semantics the paper's global barrier
+// provides.
+//
+// The simulator charges a cost model (DeviceConfig) per launch: warp steps
+// are the max of the counted work over each warp's 32 lanes (so divergence
+// is penalized), atomics carry a serialization surcharge, and each barrier
+// flavour has the cost profile the paper describes (naive atomic barriers
+// serialize every thread on one variable; hierarchical and lock-free
+// barriers only involve block representatives).
+//
+// Logical threads may be executed by multiple host threads (block-parallel)
+// when DeviceConfig::host_workers > 1; the default of 1 is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gpu/config.hpp"
+#include "gpu/stats.hpp"
+#include "gpu/thread_pool.hpp"
+
+namespace morph::gpu {
+
+class Device;
+
+/// Handle given to each logical GPU thread; identifies the thread within the
+/// grid and accumulates its counted work for the cost model.
+class ThreadCtx {
+ public:
+  /// Global thread id in [0, grid threads).
+  std::uint32_t tid() const { return tid_; }
+  std::uint32_t block() const { return block_; }
+  std::uint32_t thread_in_block() const { return tib_; }
+  /// Lane within the 32-wide warp.
+  std::uint32_t lane() const { return tib_ % warp_size_; }
+  std::uint32_t grid_threads() const { return grid_threads_; }
+  std::uint32_t threads_per_block() const { return tpb_; }
+
+  /// Charge `units` of plain compute work.
+  void work(std::uint64_t units = 1) { work_ += units; }
+  /// Charge an atomic read-modify-write (also counts as work).
+  void atomic_op(std::uint64_t n = 1) {
+    atomics_ += n;
+    work_ += n;
+  }
+  /// Charge an un-coalesced global memory access.
+  void global_access(std::uint64_t n = 1) { mem_ += n; }
+
+  std::uint64_t counted_work() const { return work_; }
+
+ private:
+  friend class Device;
+  std::uint32_t tid_ = 0;
+  std::uint32_t block_ = 0;
+  std::uint32_t tib_ = 0;
+  std::uint32_t tpb_ = 0;
+  std::uint32_t warp_size_ = 32;
+  std::uint32_t grid_threads_ = 0;
+  std::uint64_t work_ = 0;
+  std::uint64_t atomics_ = 0;
+  std::uint64_t mem_ = 0;
+};
+
+using KernelFn = std::function<void(ThreadCtx&)>;
+
+/// The simulated device. Thread-safe for the memory-accounting hooks; launch
+/// calls must not overlap.
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg = {});
+
+  const DeviceConfig& config() const { return cfg_; }
+  DeviceConfig& config() { return cfg_; }
+
+  /// Launches a single-phase kernel and returns its statistics.
+  KernelStats launch(const LaunchConfig& lc, const KernelFn& fn);
+
+  /// Launches a kernel with global barriers between consecutive phases.
+  KernelStats launch_phases(const LaunchConfig& lc,
+                            std::span<const KernelFn> phases,
+                            BarrierKind barrier = BarrierKind::kHierarchical);
+
+  const DeviceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DeviceStats{}; }
+
+  // --- memory accounting hooks (used by DeviceBuffer / DeviceHeap) ---
+  void note_host_alloc(std::uint64_t bytes);
+  void note_realloc(std::uint64_t bytes_copied);
+  void note_device_malloc(std::uint64_t bytes);
+  void note_copy(std::uint64_t bytes);
+
+  /// Cost of one global barrier for this launch geometry (model only).
+  double barrier_cycles(BarrierKind kind, const LaunchConfig& lc) const;
+
+ private:
+  DeviceConfig cfg_;
+  DeviceStats stats_;
+  ThreadPool pool_;
+};
+
+}  // namespace morph::gpu

@@ -1,0 +1,117 @@
+// Device memory management for the simulator.
+//
+// DeviceBuffer models cudaMalloc'd storage with host-driven growth — the
+// *Pre-allocation*, *Host-Only* and *Kernel-Host* subgraph-addition
+// strategies of paper Sec. 7.1 all manage their storage through it (they
+// differ in who computes the new size). DeviceHeap models CUDA 2.x
+// kernel-side malloc and implements the *Kernel-Only* strategy: linked
+// chunks of a fixed element count, with a free list so explicit deletion
+// (Sec. 7.2) can recycle chunks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "support/check.hpp"
+
+namespace morph::gpu {
+
+/// A typed device allocation whose growth is accounted against a Device.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer(Device& dev, std::size_t n = 0) : dev_(&dev), data_(n) {
+    if (n) dev_->note_host_alloc(n * sizeof(T));
+  }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  std::size_t capacity() const { return data_.capacity(); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  /// Host-driven growth to at least `n` elements. If the current capacity is
+  /// insufficient, a reallocation (alloc + device-to-device copy) is charged;
+  /// `slack` over-allocates by that factor to amortize future growth, which
+  /// is the knob the paper tunes to "greatly reduce" reallocations.
+  void grow(std::size_t n, double slack = 1.5) {
+    if (n <= data_.size()) return;
+    if (n > data_.capacity()) {
+      const std::size_t new_cap = static_cast<std::size_t>(
+          static_cast<double>(std::max(n, data_.capacity())) * slack);
+      dev_->note_realloc(data_.size() * sizeof(T));
+      dev_->note_host_alloc(new_cap * sizeof(T));
+      data_.reserve(new_cap);
+    }
+    data_.resize(n);
+  }
+
+  /// Models an explicit cudaMemcpy of the whole buffer.
+  void transfer() const { dev_->note_copy(data_.size() * sizeof(T)); }
+
+ private:
+  Device* dev_;
+  std::vector<T> data_;
+};
+
+/// Kernel-side chunked allocator (the paper's Kernel-Only strategy, used for
+/// PTA's per-node incoming-neighbor lists). Thread-safe.
+template <typename T>
+class DeviceHeap {
+ public:
+  DeviceHeap(Device& dev, std::size_t chunk_elems)
+      : dev_(&dev), chunk_elems_(chunk_elems) {
+    MORPH_CHECK(chunk_elems_ > 0);
+  }
+
+  std::size_t chunk_elems() const { return chunk_elems_; }
+  std::uint64_t chunks_live() const { return live_; }
+  std::uint64_t chunks_recycled() const { return recycled_; }
+
+  /// Allocates one chunk; reuses a freed chunk when available. The caller is
+  /// a kernel thread and should charge ctx.atomic_op() — device malloc
+  /// serializes — which we leave to the call site since not all callers hold
+  /// a ThreadCtx.
+  std::span<T> alloc_chunk() {
+    std::scoped_lock lock(mu_);
+    ++live_;
+    if (!free_.empty()) {
+      T* p = free_.back();
+      free_.pop_back();
+      ++recycled_;
+      return {p, chunk_elems_};
+    }
+    dev_->note_device_malloc(chunk_elems_ * sizeof(T));
+    chunks_.push_back(std::make_unique<T[]>(chunk_elems_));
+    return {chunks_.back().get(), chunk_elems_};
+  }
+
+  /// Returns a chunk to the free list (Explicit deletion, Sec. 7.2).
+  void free_chunk(std::span<T> chunk) {
+    MORPH_CHECK(chunk.size() == chunk_elems_);
+    std::scoped_lock lock(mu_);
+    MORPH_CHECK(live_ > 0);
+    --live_;
+    free_.push_back(chunk.data());
+  }
+
+ private:
+  Device* dev_;
+  std::size_t chunk_elems_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<T*> free_;
+  std::uint64_t live_ = 0;
+  std::uint64_t recycled_ = 0;
+};
+
+}  // namespace morph::gpu

@@ -1,0 +1,59 @@
+// Per-launch and per-device statistics produced by the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace morph::gpu {
+
+/// Statistics of a single kernel launch (all phases included).
+struct KernelStats {
+  std::uint64_t logical_threads = 0;
+  std::uint64_t warps = 0;
+  std::uint32_t phases = 0;
+
+  std::uint64_t total_work = 0;      ///< sum of per-thread counted work units
+  std::uint64_t max_thread_work = 0; ///< slowest logical thread
+  std::uint64_t warp_steps = 0;      ///< sum over warps of max-lane work
+  std::uint64_t atomics = 0;         ///< counted atomic operations
+  std::uint64_t global_accesses = 0; ///< counted global-memory accesses
+
+  double modeled_cycles = 0.0;       ///< cost-model makespan of this launch
+
+  /// SIMD inefficiency due to divergence: lane-steps issued / useful work.
+  /// 1.0 means perfectly converged warps; larger means more wasted lanes.
+  double divergence(std::uint32_t warp_size) const {
+    if (total_work == 0) return 1.0;
+    return static_cast<double>(warp_steps) * warp_size /
+           static_cast<double>(total_work);
+  }
+};
+
+/// Accumulated statistics for a device across launches.
+struct DeviceStats {
+  std::uint64_t launches = 0;
+  std::uint64_t barriers = 0;        ///< intra-kernel global barriers crossed
+  std::uint64_t total_work = 0;
+  std::uint64_t warp_steps = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t global_accesses = 0;
+  double modeled_cycles = 0.0;
+
+  // Device memory-management activity (Sec. 7.1/7.2 strategies).
+  std::uint64_t device_mallocs = 0;  ///< kernel-side allocations
+  std::uint64_t host_allocs = 0;     ///< cudaMalloc-style allocations
+  std::uint64_t reallocs = 0;        ///< buffer growth events (with copy)
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t bytes_copied = 0;    ///< host<->device + realloc copies
+
+  void absorb(const KernelStats& k) {
+    ++launches;
+    barriers += (k.phases > 0 ? k.phases - 1 : 0);
+    total_work += k.total_work;
+    warp_steps += k.warp_steps;
+    atomics += k.atomics;
+    global_accesses += k.global_accesses;
+    modeled_cycles += k.modeled_cycles;
+  }
+};
+
+}  // namespace morph::gpu

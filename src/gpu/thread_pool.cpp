@@ -1,0 +1,64 @@
+#include "gpu/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace morph {
+
+ThreadPool::ThreadPool(std::uint32_t workers) : worker_count_(workers) {
+  if (worker_count_ <= 1) return;  // inline mode
+  threads_.reserve(worker_count_);
+  for (std::uint32_t i = 0; i < worker_count_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_all(std::uint64_t n,
+                         const std::function<void(std::uint64_t)>& f) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (std::uint64_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+  std::unique_lock lock(mu_);
+  MORPH_CHECK_MSG(batch_fn_ == nullptr, "nested run_all on the same pool");
+  batch_fn_ = &f;
+  batch_n_ = n;
+  next_ = 0;
+  done_ = 0;
+  ++generation_;
+  cv_task_.notify_all();
+  cv_done_.wait(lock, [this] { return done_ == batch_n_; });
+  batch_fn_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::unique_lock lock(mu_);
+    cv_task_.wait(lock, [&] {
+      return stop_ || (batch_fn_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    // Claim and run tasks until the batch is exhausted.
+    while (batch_fn_ != nullptr && next_ < batch_n_) {
+      const std::uint64_t i = next_++;
+      const auto* fn = batch_fn_;
+      lock.unlock();
+      (*fn)(i);
+      lock.lock();
+      if (++done_ == batch_n_) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace morph

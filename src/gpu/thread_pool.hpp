@@ -1,0 +1,54 @@
+// A small fixed-size thread pool used to execute simulated GPU blocks (and
+// CPU-baseline workers) on real host threads.
+//
+// Follows the Core Guidelines concurrency rules: threads are joined in the
+// destructor (RAII), work items are tasks, no detached threads, waiting is
+// always under a condition.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace morph {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads. A pool of size 0 or 1 executes submitted
+  /// tasks inline on the calling thread in run_all(); this is the
+  /// deterministic default used by tests.
+  explicit ThreadPool(std::uint32_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t workers() const { return worker_count_; }
+
+  /// Runs `n` tasks f(0..n-1) across the pool and blocks until all complete.
+  /// Tasks must not themselves call run_all on the same pool.
+  void run_all(std::uint64_t n, const std::function<void(std::uint64_t)>& f);
+
+ private:
+  void worker_loop();
+
+  std::uint32_t worker_count_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  // Current batch: tasks are indices [0, batch_n_) claimed via next_.
+  const std::function<void(std::uint64_t)>* batch_fn_ = nullptr;
+  std::uint64_t batch_n_ = 0;
+  std::uint64_t next_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace morph

@@ -1,0 +1,109 @@
+// Worklists (paper Sec. 7.5).
+//
+// A centralized GlobalWorklist requires an atomic index per push/pop, which
+// the paper identifies as a bottleneck; a LocalWorklist is a fixed-capacity
+// per-thread queue that lives in (simulated) shared memory and needs no
+// synchronization. The pseudo-partitioning produced by the memory-layout
+// optimization (graph/layout.hpp) makes a thread's new work likely to land
+// in its own local queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "support/check.hpp"
+
+namespace morph::gpu {
+
+/// Per-thread queue with bounded capacity (shared-memory budget). push()
+/// returns false on overflow and counts the spill; callers fall back to the
+/// global list or to the next topology-driven sweep.
+template <typename T>
+class LocalWorklist {
+ public:
+  explicit LocalWorklist(std::size_t capacity) : cap_(capacity) {
+    items_.reserve(capacity);
+  }
+
+  std::size_t capacity() const { return cap_; }
+  std::size_t size() const { return items_.size() - head_; }
+  bool empty() const { return size() == 0; }
+  std::uint64_t spills() const { return spills_; }
+
+  bool push(const T& v) {
+    if (items_.size() >= cap_) {
+      ++spills_;
+      return false;
+    }
+    items_.push_back(v);
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    return items_[head_++];
+  }
+
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::size_t cap_;
+  std::size_t head_ = 0;
+  std::vector<T> items_;
+  std::uint64_t spills_ = 0;
+};
+
+/// Centralized worklist; every push/pop is an atomic fetch-add charged to
+/// the calling thread. Fixed capacity chosen at construction.
+template <typename T>
+class GlobalWorklist {
+ public:
+  explicit GlobalWorklist(std::size_t capacity)
+      : items_(capacity), tail_(0), head_(0) {}
+
+  std::size_t capacity() const { return items_.size(); }
+
+  void reset() {
+    tail_.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Returns false when full (work is dropped to the next sweep).
+  bool push(ThreadCtx& ctx, const T& v) {
+    ctx.atomic_op();
+    const std::uint64_t slot = tail_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= items_.size()) {
+      tail_.store(items_.size(), std::memory_order_relaxed);
+      return false;
+    }
+    items_[slot] = v;
+    return true;
+  }
+
+  std::optional<T> pop(ThreadCtx& ctx) {
+    ctx.atomic_op();
+    const std::uint64_t slot = head_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= tail_.load(std::memory_order_relaxed)) return std::nullopt;
+    return items_[slot];
+  }
+
+  /// Number of elements currently enqueued (single-threaded contexts only).
+  std::size_t size() const {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    return t > h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+ private:
+  std::vector<T> items_;
+  std::atomic<std::uint64_t> tail_;
+  std::atomic<std::uint64_t> head_;
+};
+
+}  // namespace morph::gpu

@@ -1,0 +1,55 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace morph::graph {
+
+void write_dimacs(std::ostream& os, Node num_nodes,
+                  const std::vector<Edge>& edges) {
+  os << "p sp " << num_nodes << ' ' << edges.size() << '\n';
+  for (const Edge& e : edges) {
+    os << "a " << (e.src + 1) << ' ' << (e.dst + 1) << ' ' << e.weight
+       << '\n';
+  }
+}
+
+std::vector<Edge> read_dimacs(std::istream& is, Node& num_nodes) {
+  num_nodes = 0;
+  std::vector<Edge> edges;
+  std::unordered_set<std::uint64_t> seen;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char kind;
+    ls >> kind;
+    if (kind == 'p') {
+      std::string tag;
+      std::uint64_t n = 0, m = 0;
+      ls >> tag >> n >> m;
+      MORPH_CHECK_MSG(n > 0, "bad DIMACS problem line");
+      num_nodes = static_cast<Node>(n);
+      edges.reserve(m);
+    } else if (kind == 'a') {
+      std::uint64_t u = 0, v = 0, w = 1;
+      ls >> u >> v >> w;
+      MORPH_CHECK_MSG(u >= 1 && v >= 1, "DIMACS nodes are 1-indexed");
+      if (u == v) continue;
+      Node a = static_cast<Node>(u - 1), b = static_cast<Node>(v - 1);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+          std::max(a, b);
+      if (!seen.insert(key).second) continue;
+      edges.push_back({a, b, static_cast<Weight>(w)});
+    }
+  }
+  return edges;
+}
+
+}  // namespace morph::graph

@@ -1,0 +1,20 @@
+// DIMACS-style graph IO (the format the paper's road-network inputs ship
+// in): "p sp <n> <m>" header and "a <u> <v> <w>" arc lines, 1-indexed.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace morph::graph {
+
+/// Writes an undirected edge list as DIMACS (each edge once).
+void write_dimacs(std::ostream& os, Node num_nodes,
+                  const std::vector<Edge>& edges);
+
+/// Reads a DIMACS file; returns the edge list and sets num_nodes. Arcs that
+/// appear in both directions are collapsed to one undirected edge.
+std::vector<Edge> read_dimacs(std::istream& is, Node& num_nodes);
+
+}  // namespace morph::graph

@@ -1,0 +1,42 @@
+#include "graph/layout.hpp"
+
+#include <cmath>
+#include <deque>
+
+namespace morph::graph {
+
+std::vector<Node> bfs_order(const CsrGraph& g) {
+  const Node n = g.num_nodes();
+  std::vector<Node> perm(n, n);  // n = unvisited sentinel
+  Node next_id = 0;
+  std::deque<Node> queue;
+  for (Node root = 0; root < n; ++root) {
+    if (perm[root] != n) continue;
+    perm[root] = next_id++;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      const Node u = queue.front();
+      queue.pop_front();
+      for (Node v : g.neighbors(u)) {
+        if (perm[v] == n) {
+          perm[v] = next_id++;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return perm;
+}
+
+double layout_cost(const CsrGraph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  double sum = 0.0;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (Node v : g.neighbors(u)) {
+      sum += std::abs(static_cast<double>(u) - static_cast<double>(v));
+    }
+  }
+  return sum / static_cast<double>(g.num_edges());
+}
+
+}  // namespace morph::graph

@@ -1,0 +1,24 @@
+// Memory-layout optimization (paper Sec. 6.1): renumber nodes so that
+// neighbors in the graph are also neighbors in memory, improving spatial
+// locality and making local-worklist chunks behave like graph partitions
+// (Sec. 7.5). We implement the scan as a BFS traversal, which assigns
+// consecutive ids to topologically adjacent nodes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace morph::graph {
+
+/// Returns perm with perm[old] = new, from a BFS over the graph (all
+/// components, lowest-id roots first).
+std::vector<Node> bfs_order(const CsrGraph& g);
+
+/// Locality score: mean |new(u) - new(v)| over all edges under the identity
+/// layout (lower is better). Used to verify the optimization in tests and
+/// the ablation bench.
+double layout_cost(const CsrGraph& g);
+
+}  // namespace morph::graph

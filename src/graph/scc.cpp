@@ -1,0 +1,67 @@
+#include "graph/scc.hpp"
+
+namespace morph::graph {
+
+SccResult strongly_connected_components(const CsrGraph& g) {
+  const Node n = g.num_nodes();
+  SccResult res;
+  res.component.assign(n, ~0u);
+
+  constexpr std::uint32_t kUnvisited = ~0u;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<Node> stack;          // Tarjan's component stack
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frame: node and the position within its neighbor list.
+  struct Frame {
+    Node node;
+    EdgeId next_edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (Node root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, g.row_begin(root)});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      if (f.next_edge < g.row_end(f.node)) {
+        const Node w = g.edge_dst(f.next_edge++);
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          dfs.push_back({w, g.row_begin(w)});
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+      } else {
+        const Node v = f.node;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().node] =
+              std::min(lowlink[dfs.back().node], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v is a component root; pop the component.
+          for (;;) {
+            const Node w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            res.component[w] = res.num_components;
+            if (w == v) break;
+          }
+          ++res.num_components;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace morph::graph

@@ -1,0 +1,27 @@
+// Strongly connected components (iterative Tarjan).
+//
+// Used by the points-to analysis' offline cycle-elimination pass: variables
+// on a copy-edge cycle provably share their points-to sets, so the whole
+// cycle can be collapsed into one representative before solving — the
+// optimization the paper notes its CPU baselines perform ("online cycle
+// elimination and topological sort") but its GPU code omits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace morph::graph {
+
+struct SccResult {
+  /// Component id of each node (ids are dense, 0..num_components-1, in
+  /// reverse topological order of the condensation).
+  std::vector<std::uint32_t> component;
+  std::uint32_t num_components = 0;
+};
+
+/// Tarjan's algorithm, iterative (safe for deep graphs).
+SccResult strongly_connected_components(const CsrGraph& g);
+
+}  // namespace morph::graph

@@ -1,0 +1,55 @@
+// Disjoint-set union-find with path compression and union by size.
+//
+// Used by the Kruskal verifier and by the "Galois 2.1.5" MST baseline the
+// paper describes ("a fast union-find data structure that maintains groups
+// of nodes [and] keeps the graph unmodified").
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace morph::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n) : parent_(n), size_(n, 1), sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    MORPH_CHECK(x < parent_.size());
+    std::uint32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {  // path compression
+      const std::uint32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Returns true if x and y were in different sets (and merges them).
+  bool unite(std::uint32_t x, std::uint32_t y) {
+    std::uint32_t rx = find(x), ry = find(y);
+    if (rx == ry) return false;
+    if (size_[rx] < size_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    size_[rx] += size_[ry];
+    --sets_;
+    return true;
+  }
+
+  bool same(std::uint32_t x, std::uint32_t y) { return find(x) == find(y); }
+  std::uint32_t num_sets() const { return sets_; }
+  std::uint32_t set_size(std::uint32_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::uint32_t sets_;
+};
+
+}  // namespace morph::graph

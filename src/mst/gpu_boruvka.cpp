@@ -1,0 +1,224 @@
+// The paper's component-based GPU Boruvka (Sec. 5).
+//
+// Components partition the nodes (a many-to-one node->component mapping and
+// a one-to-many component->nodes mapping rebuilt by reshuffling an array of
+// nodes, per Sec. 6.5 / 7.1 Pre-allocation). Each round runs four kernels:
+//   1. per node: minimum-weight edge whose endpoint lies in another
+//      component,
+//   2. per component: minimum of its nodes' candidate edges,
+//   3. per component: cycle breaking — ties are ordered by the canonical
+//      original endpoint pair, so the partner graph's cycles are mutual
+//      pairs; the minimum component id becomes the representative, and
+//      pointer jumping resolves chains,
+//   4. per node: merge (relabel to the representative).
+// Adjacency lists are never merged; the cost of merging scales with nodes.
+#include <atomic>
+
+#include "mst/mst.hpp"
+#include "support/timer.hpp"
+
+namespace morph::mst {
+
+namespace {
+
+using graph::EdgeId;
+using graph::Node;
+using graph::Weight;
+
+constexpr std::uint64_t kNoEdge = ~0ull;
+
+/// Total-order key of an undirected edge: weight, then canonical endpoints.
+std::uint64_t edge_key(Weight w, Node u, Node v) {
+  const Node a = u < v ? u : v;
+  // 24 bits of endpoint tiebreak keep the key in 64 bits for weights below
+  // 2^28; inputs in this repo use weights <= 2^20.
+  return (static_cast<std::uint64_t>(w) << 36) |
+         (static_cast<std::uint64_t>(a & 0xffffffu) << 12) |
+         ((u ^ v) & 0xfffu);
+}
+
+struct Best {
+  std::uint64_t key = kNoEdge;
+  Node u = 0;       ///< edge endpoints (original graph)
+  Node v = 0;
+  Weight w = 0;
+};
+
+}  // namespace
+
+MstResult mst_gpu(const graph::CsrGraph& g, gpu::Device& dev) {
+  Timer timer;
+  MstResult res;
+  const Node n = g.num_nodes();
+  if (n == 0) return res;
+
+  std::vector<Node> comp(n);
+  for (Node u = 0; u < n; ++u) comp[u] = u;
+
+  // component -> nodes mapping (reshuffled each round; pre-allocated since
+  // the total node count is invariant).
+  std::vector<Node> comp_nodes(n);
+  std::vector<std::uint32_t> comp_off;
+  std::vector<Node> alive;  // canonical ids of active components
+  alive.reserve(n);
+  for (Node u = 0; u < n; ++u) alive.push_back(u);
+
+  std::vector<Best> node_best(n);
+  std::vector<Best> comp_best(n);
+  std::vector<Node> partner(n);
+  std::vector<std::uint32_t> comp_index(n, ~0u);
+
+  const std::uint32_t sm = dev.config().num_sms;
+  const gpu::LaunchConfig lc{
+      std::clamp<std::uint32_t>(n / 256 + 1, 3 * sm, 50 * sm), 256};
+  const std::uint64_t T = lc.total_threads();
+
+  dev.note_host_alloc(static_cast<std::uint64_t>(n) *
+                      (sizeof(Node) * 2 + sizeof(Best) * 2));
+
+  bool progress = true;
+  while (progress) {
+    ++res.rounds;
+    progress = false;
+
+    // Reshuffle: rebuild the component->nodes mapping (counting sort over
+    // nodes of *alive* components; finished components keep their labels
+    // but take no further part).
+    std::fill(comp_index.begin(), comp_index.end(), ~0u);
+    for (std::uint32_t i = 0; i < alive.size(); ++i) comp_index[alive[i]] = i;
+    comp_off.assign(alive.size() + 1, 0);
+    for (Node u = 0; u < n; ++u) {
+      if (comp_index[comp[u]] != ~0u) ++comp_off[comp_index[comp[u]] + 1];
+    }
+    for (std::size_t i = 1; i < comp_off.size(); ++i)
+      comp_off[i] += comp_off[i - 1];
+    {
+      std::vector<std::uint32_t> cursor(comp_off.begin(), comp_off.end() - 1);
+      for (Node u = 0; u < n; ++u) {
+        const std::uint32_t ci = comp_index[comp[u]];
+        if (ci != ~0u) comp_nodes[cursor[ci]++] = u;
+      }
+    }
+    // The reshuffle is itself a kernel-side scatter; charge it.
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t u = ctx.tid(); u < n; u += T) ctx.work(1);
+    });
+
+    // Kernel 1: per-node minimum edge leaving the component.
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t ui = ctx.tid(); ui < n; ui += T) {
+        const Node u = static_cast<Node>(ui);
+        Best b;
+        const Node cu = comp[u];
+        for (EdgeId e = g.row_begin(u); e < g.row_end(u); ++e) {
+          ctx.work(1);
+          const Node v = g.edge_dst(e);
+          if (comp[v] == cu) continue;
+          const Weight w = g.edge_weight(e);
+          const std::uint64_t key = edge_key(w, u, v);
+          if (key < b.key) b = {key, u, v, w};
+        }
+        ctx.global_access();
+        node_best[u] = b;
+      }
+    });
+
+    // Kernel 2: per-component minimum over its nodes.
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t ci = ctx.tid(); ci < alive.size(); ci += T) {
+        Best b;
+        for (std::uint32_t x = comp_off[ci]; x < comp_off[ci + 1]; ++x) {
+          ctx.work(1);
+          const Best& nb = node_best[comp_nodes[x]];
+          if (nb.key < b.key) b = nb;
+        }
+        comp_best[alive[ci]] = b;
+      }
+    });
+
+    // Kernel 3: cycle breaking. partner[c] = component of the chosen edge's
+    // far endpoint; mutual pairs keep the minimum id as representative.
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t ci = ctx.tid(); ci < alive.size(); ci += T) {
+        const Node c = alive[ci];
+        ctx.work(1);
+        // b.u lies inside c (kernel 1), so comp[b.v] is the far component.
+        const Best& b = comp_best[c];
+        partner[c] = (b.key == kNoEdge) ? c : comp[b.v];
+      }
+    });
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t ci = ctx.tid(); ci < alive.size(); ci += T) {
+        const Node c = alive[ci];
+        ctx.work(1);
+        if (partner[partner[c]] == c && c < partner[c]) {
+          // Representative of the mutual pair.
+          partner[c] = c;
+        }
+      }
+    });
+    // Pointer jumping until the partner chains settle on representatives.
+    {
+      bool jumped = true;
+      while (jumped) {
+        std::atomic<bool> any{false};
+        dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+          for (std::uint64_t ci = ctx.tid(); ci < alive.size(); ci += T) {
+            const Node c = alive[ci];
+            ctx.work(1);
+            const Node p = partner[c];
+            const Node pp = partner[p];
+            if (p != pp) {
+              partner[c] = pp;
+              any.store(true, std::memory_order_relaxed);
+            }
+          }
+        });
+        jumped = any.load();
+      }
+    }
+
+    // Kernel 4: merge. Non-representative components contribute their
+    // minimum edge to the MST; nodes relabel to the representative.
+    std::uint64_t merged = 0;
+    for (Node c : alive) {
+      if (partner[c] != c) {
+        const Best& b = comp_best[c];
+        MORPH_CHECK(b.key != kNoEdge);
+        res.total_weight += b.w;
+        ++res.tree_edges;
+        res.edges.emplace_back(b.u, b.v);
+        ++merged;
+      }
+    }
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t u = ctx.tid(); u < n; u += T) {
+        ctx.work(1);
+        ctx.global_access();
+        comp[u] = partner[comp[u]];
+      }
+    });
+
+    // Shrink the alive list to representatives that still have candidate
+    // outgoing edges (host side, like the paper's do-while driver).
+    std::vector<Node> next_alive;
+    for (Node c : alive) {
+      if (partner[c] == c && comp_best[c].key != kNoEdge) {
+        next_alive.push_back(c);
+      } else if (partner[c] == c) {
+        ++res.components;  // isolated: a finished forest component
+      }
+    }
+    progress = merged > 0;
+    alive.swap(next_alive);
+    if (alive.empty()) progress = false;
+  }
+  res.components += static_cast<std::uint32_t>(alive.size());
+
+  res.counted_work = dev.stats().total_work;
+  res.wall_seconds = timer.seconds();
+  res.modeled_cycles = dev.stats().modeled_cycles;
+  return res;
+}
+
+}  // namespace morph::mst

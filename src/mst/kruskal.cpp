@@ -1,0 +1,44 @@
+// Kruskal reference implementation (verifier for the Boruvka variants).
+#include <algorithm>
+
+#include "graph/union_find.hpp"
+#include "mst/mst.hpp"
+#include "support/timer.hpp"
+
+namespace morph::mst {
+
+MstResult mst_kruskal(const graph::CsrGraph& g) {
+  Timer timer;
+  MstResult res;
+
+  struct E {
+    graph::Weight w;
+    graph::Node a, b;
+  };
+  std::vector<E> edges;
+  edges.reserve(g.num_edges() / 2);
+  for (graph::Node u = 0; u < g.num_nodes(); ++u) {
+    for (graph::EdgeId e = g.row_begin(u); e < g.row_end(u); ++e) {
+      const graph::Node v = g.edge_dst(e);
+      if (u < v) edges.push_back({g.edge_weight(e), u, v});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const E& x, const E& y) {
+    return std::tie(x.w, x.a, x.b) < std::tie(y.w, y.a, y.b);
+  });
+
+  graph::UnionFind uf(g.num_nodes());
+  for (const E& e : edges) {
+    if (uf.unite(e.a, e.b)) {
+      res.total_weight += e.w;
+      ++res.tree_edges;
+      res.edges.emplace_back(e.a, e.b);
+    }
+  }
+  res.components = uf.num_sets();
+  res.counted_work = edges.size();
+  res.wall_seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace morph::mst

@@ -1,0 +1,66 @@
+// Boruvka minimum-spanning-tree/forest algorithms (paper Sec. 5).
+//
+// Three implementations of the comparison in Fig. 11:
+//   mst_gpu        — the paper's component-based GPU algorithm: four kernels
+//                    per round (per-node min edge, per-component min edge,
+//                    cycle breaking by minimum component id, merge). Edge
+//                    contraction is *pseudo*: components partition the
+//                    nodes; adjacency lists are never merged.
+//   mst_edge_merge — the Galois 2.1.4 stand-in: explicit adjacency-list
+//                    merging, whose cost grows with node degrees (the reason
+//                    it collapses on dense RMAT/random graphs).
+//   mst_union_find — the Galois 2.1.5 stand-in: bulk-synchronous rounds over
+//                    a union-find, graph kept unmodified.
+//   mst_kruskal    — sort-based verifier.
+//
+// All return the forest's total weight and edge count; on a connected graph
+// the forest is a spanning tree. Edge weights need not be distinct: every
+// implementation breaks ties by the canonical endpoint pair, which makes
+// the minimum-edge functional graph's cycles have length exactly two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "gpu/cpu_runner.hpp"
+#include "gpu/device.hpp"
+
+namespace morph::mst {
+
+struct MstResult {
+  std::uint64_t total_weight = 0;
+  std::uint64_t tree_edges = 0;
+  std::uint32_t components = 0;  ///< forest components at the end
+  std::uint64_t rounds = 0;
+  std::uint64_t counted_work = 0;
+  double wall_seconds = 0.0;
+  double modeled_cycles = 0.0;
+  /// The chosen edges as (u, v) original endpoints, filled when the caller
+  /// requests them (collect_edges on the entry points that support it).
+  std::vector<std::pair<graph::Node, graph::Node>> edges;
+};
+
+/// Structural verification that `r.edges` forms a spanning forest of g of
+/// the stated weight: acyclic (union-find accepts every edge), the right
+/// component count, and each listed edge exists in g with a weight summing
+/// to total_weight.
+bool verify_forest(const graph::CsrGraph& g, const MstResult& r);
+
+/// The paper's component-based GPU Boruvka on the simulator. The graph must
+/// be undirected (symmetric CSR with weights).
+MstResult mst_gpu(const graph::CsrGraph& g, gpu::Device& dev);
+
+/// Explicit edge-merging Boruvka (Galois 2.1.4 stand-in) on the multicore
+/// model.
+MstResult mst_edge_merge(const graph::CsrGraph& g,
+                         cpu::ParallelRunner& runner);
+
+/// Union-find bulk-synchronous Boruvka (Galois 2.1.5 stand-in).
+MstResult mst_union_find(const graph::CsrGraph& g,
+                         cpu::ParallelRunner& runner);
+
+/// Kruskal reference (serial; used to verify the others).
+MstResult mst_kruskal(const graph::CsrGraph& g);
+
+}  // namespace morph::mst

@@ -1,0 +1,33 @@
+// Structural verification of spanning forests (beyond weight equality).
+#include <algorithm>
+
+#include "graph/union_find.hpp"
+#include "mst/mst.hpp"
+
+namespace morph::mst {
+
+bool verify_forest(const graph::CsrGraph& g, const MstResult& r) {
+  if (r.edges.size() != r.tree_edges) return false;
+  graph::UnionFind uf(g.num_nodes());
+  std::uint64_t weight = 0;
+  for (const auto& [u, v] : r.edges) {
+    if (u >= g.num_nodes() || v >= g.num_nodes()) return false;
+    // The edge must exist in the graph; take its minimum weight (parallel
+    // edges allowed).
+    graph::Weight w = 0;
+    bool found = false;
+    for (graph::EdgeId e = g.row_begin(u); e < g.row_end(u); ++e) {
+      if (g.edge_dst(e) == v) {
+        w = found ? std::min(w, g.edge_weight(e)) : g.edge_weight(e);
+        found = true;
+      }
+    }
+    if (!found) return false;
+    if (!uf.unite(u, v)) return false;  // cycle
+    weight += w;
+  }
+  if (weight != r.total_weight) return false;
+  return uf.num_sets() == r.components;
+}
+
+}  // namespace morph::mst

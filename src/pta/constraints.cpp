@@ -1,0 +1,66 @@
+#include "pta/constraints.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace morph::pta {
+
+namespace {
+
+/// Approximate Zipf sampler over [0, n): inverse-power transform of a
+/// uniform draw. Skews accesses toward low ids ("hot" variables).
+Var zipfish(Rng& rng, std::uint32_t n, double exponent = 0.6) {
+  const double u = rng.next_double();
+  const double x = std::pow(u, 1.0 / (1.0 - exponent));  // in (0,1]
+  auto v = static_cast<std::uint64_t>(x * n);
+  if (v >= n) v = n - 1;
+  return static_cast<Var>(v);
+}
+
+}  // namespace
+
+ConstraintSet synthetic_program(std::uint32_t num_vars,
+                                std::uint32_t num_cons, std::uint64_t seed) {
+  MORPH_CHECK(num_vars >= 8);
+  Rng rng(seed);
+  ConstraintSet cs;
+  cs.num_vars = num_vars;
+  cs.constraints.reserve(num_cons);
+  for (std::uint32_t i = 0; i < num_cons; ++i) {
+    const double kind_draw = rng.next_double();
+    Constraint c{};
+    c.dst = zipfish(rng, num_vars);
+    c.src = zipfish(rng, num_vars);
+    if (kind_draw < 0.30) {
+      c.kind = ConstraintKind::kAddressOf;
+    } else if (kind_draw < 0.70) {
+      c.kind = ConstraintKind::kCopy;
+    } else if (kind_draw < 0.85) {
+      c.kind = ConstraintKind::kLoad;
+    } else {
+      c.kind = ConstraintKind::kStore;
+    }
+    cs.constraints.push_back(c);
+  }
+  return cs;
+}
+
+const std::vector<SpecWorkload>& spec2000_workloads() {
+  static const std::vector<SpecWorkload> table = {
+      {"186.crafty", 6126, 6768}, {"164.gzip", 1595, 1773},
+      {"256.bzip2", 1147, 1081},  {"181.mcf", 1230, 1509},
+      {"183.equake", 1317, 1279}, {"179.art", 586, 603},
+  };
+  return table;
+}
+
+ConstraintSet spec_like(const SpecWorkload& w) {
+  // Seed derived from the name so each benchmark is a distinct instance.
+  std::uint64_t seed = 0xcbf29ce484222325ull;
+  for (char ch : w.name) seed = (seed ^ static_cast<unsigned char>(ch)) * 0x100000001b3ull;
+  return synthetic_program(w.vars, w.cons, seed);
+}
+
+}  // namespace morph::pta

@@ -1,0 +1,64 @@
+// Andersen-style inclusion-based points-to analysis: constraints and
+// workloads (paper Sec. 4).
+//
+// Four constraint kinds over program variables:
+//   address-of  p = &q    seeds pts(p) with q
+//   copy        p = q     subset edge q -> p
+//   load        p = *q    for every v in pts(q), edge v -> p
+//   store       *p = q    for every v in pts(p), edge q -> v
+//
+// The paper evaluates on constraint files extracted from six SPEC 2000
+// programs; those files are proprietary to the original toolchain, so we
+// generate synthetic constraint sets with the *published* variable and
+// constraint counts (Fig. 10) and a realistic kind mix / degree skew (see
+// DESIGN.md, Substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace morph::pta {
+
+using Var = std::uint32_t;
+
+enum class ConstraintKind : std::uint8_t {
+  kAddressOf,
+  kCopy,
+  kLoad,
+  kStore,
+};
+
+struct Constraint {
+  ConstraintKind kind;
+  Var dst;  ///< p in the table above
+  Var src;  ///< q
+};
+
+struct ConstraintSet {
+  std::uint32_t num_vars = 0;
+  std::vector<Constraint> constraints;
+};
+
+/// Random constraint set: `num_cons` constraints over `num_vars` variables
+/// with a C-like kind mix (address-of 30%, copy 40%, load 15%, store 15%)
+/// and Zipf-skewed variable usage (a few hot globals, many locals).
+ConstraintSet synthetic_program(std::uint32_t num_vars,
+                                std::uint32_t num_cons, std::uint64_t seed);
+
+/// One row of the paper's Fig. 10: benchmark name with its published
+/// variable / constraint counts.
+struct SpecWorkload {
+  std::string name;
+  std::uint32_t vars;
+  std::uint32_t cons;
+};
+
+/// The six SPEC 2000 workloads of Fig. 10 (sizes from the paper).
+const std::vector<SpecWorkload>& spec2000_workloads();
+
+/// Synthetic stand-in for a Fig. 10 benchmark (sizes match; contents are
+/// generated with the benchmark's index as seed).
+ConstraintSet spec_like(const SpecWorkload& w);
+
+}  // namespace morph::pta

@@ -1,0 +1,74 @@
+#include "pta/cycle_elim.hpp"
+
+#include <algorithm>
+
+#include "graph/scc.hpp"
+
+namespace morph::pta {
+
+ReducedProgram collapse_copy_cycles(const ConstraintSet& cs) {
+  // Static copy-edge graph: src -> dst per copy constraint.
+  std::vector<graph::Edge> edges;
+  for (const Constraint& c : cs.constraints) {
+    if (c.kind == ConstraintKind::kCopy && c.src != c.dst) {
+      edges.push_back({c.src, c.dst, 1});
+    }
+  }
+  const graph::CsrGraph g =
+      graph::CsrGraph::from_edges(cs.num_vars, edges, /*with_weights=*/false);
+  const graph::SccResult scc = graph::strongly_connected_components(g);
+
+  // Representative of each SCC: its minimum member.
+  std::vector<Var> comp_rep(scc.num_components, ~0u);
+  for (Var v = 0; v < cs.num_vars; ++v) {
+    Var& r = comp_rep[scc.component[v]];
+    r = std::min(r, v);
+  }
+
+  ReducedProgram out;
+  out.rep.resize(cs.num_vars);
+  for (Var v = 0; v < cs.num_vars; ++v) {
+    out.rep[v] = comp_rep[scc.component[v]];
+  }
+  std::vector<std::uint32_t> members(scc.num_components, 0);
+  for (Var v = 0; v < cs.num_vars; ++v) ++members[scc.component[v]];
+  for (std::uint32_t m : members) out.cycles_collapsed += (m > 1) ? 1 : 0;
+
+  out.reduced.num_vars = cs.num_vars;
+  out.reduced.constraints.reserve(cs.constraints.size());
+  for (Constraint c : cs.constraints) {
+    switch (c.kind) {
+      case ConstraintKind::kAddressOf:
+        c.dst = out.rep[c.dst];  // src is an element: keep the original id
+        break;
+      case ConstraintKind::kCopy:
+        c.dst = out.rep[c.dst];
+        c.src = out.rep[c.src];
+        if (c.dst == c.src) continue;  // intra-cycle copy: now vacuous
+        break;
+      case ConstraintKind::kLoad:
+      case ConstraintKind::kStore:
+        c.dst = out.rep[c.dst];
+        c.src = out.rep[c.src];
+        break;
+    }
+    out.reduced.constraints.push_back(c);
+  }
+  return out;
+}
+
+PtsSets solve_gpu_cycle_elim(const ConstraintSet& cs, gpu::Device& dev,
+                             PtaOptions opts, PtaStats* stats,
+                             std::uint32_t* cycles_collapsed) {
+  const ReducedProgram r = collapse_copy_cycles(cs);
+  if (cycles_collapsed) *cycles_collapsed = r.cycles_collapsed;
+  opts.pointer_rep = &r.rep;
+  PtsSets pts = solve_gpu(r.reduced, dev, opts, stats);
+  // Expansion: collapsed variables inherit their representative's set.
+  for (Var v = 0; v < cs.num_vars; ++v) {
+    if (r.rep[v] != v) pts[v] = pts[r.rep[v]];
+  }
+  return pts;
+}
+
+}  // namespace morph::pta

@@ -1,0 +1,41 @@
+// Offline cycle elimination for points-to analysis.
+//
+// Variables on a cycle of copy edges provably have equal points-to sets, so
+// the cycle can be collapsed to one representative before solving. The
+// paper notes its CPU baselines perform (online) cycle elimination while
+// its GPU code does not; this pass provides the offline variant as an
+// optional extension, letting the ablation bench quantify what the GPU
+// implementation left on the table.
+//
+// Soundness: only *pointer positions* are rewritten to representatives.
+// Address-taken operands (the elements inside points-to sets) keep their
+// original ids; the solver maps a dynamically discovered edge's pointer
+// endpoint through the representative table (PtaOptions::pointer_rep).
+// After solving, every collapsed variable inherits its representative's
+// set, giving a fixed point identical to the unreduced solver's.
+#pragma once
+
+#include <vector>
+
+#include "pta/constraints.hpp"
+#include "pta/solve.hpp"
+
+namespace morph::pta {
+
+struct ReducedProgram {
+  ConstraintSet reduced;   ///< constraints rewritten onto representatives
+  std::vector<Var> rep;    ///< original var -> representative (same space)
+  std::uint32_t cycles_collapsed = 0;  ///< SCCs with more than one member
+};
+
+/// Collapses the strongly connected components of the static copy-edge
+/// graph. Trivial (singleton) components keep their variable.
+ReducedProgram collapse_copy_cycles(const ConstraintSet& cs);
+
+/// solve_gpu with the offline cycle-elimination pre-pass and solution
+/// expansion. Produces the same fixed point as solve_serial(cs).
+PtsSets solve_gpu_cycle_elim(const ConstraintSet& cs, gpu::Device& dev,
+                             PtaOptions opts = {}, PtaStats* stats = nullptr,
+                             std::uint32_t* cycles_collapsed = nullptr);
+
+}  // namespace morph::pta

@@ -1,0 +1,291 @@
+// The paper's GPU points-to analysis (Sec. 4 / 6.4): pull-based two-phase
+// fixed-point iteration. Each node keeps a linked list of chunks of
+// incoming neighbors allocated by kernel-side malloc (the Kernel-Only
+// strategy of Sec. 7.1); chunk contents are sorted by id for fast lookup.
+// Propagation is pull-based: only the owning thread writes a node's
+// points-to set, so no synchronization is needed (monotonicity makes stale
+// reads safe). The push-based variant is kept for the ablation bench.
+#include <algorithm>
+#include <mutex>
+
+#include "core/adaptive.hpp"
+#include "gpu/memory.hpp"
+#include "pta/solve.hpp"
+#include "support/timer.hpp"
+
+namespace morph::pta {
+
+namespace {
+
+bool union_into(std::vector<Var>& dst, const std::vector<Var>& src,
+                std::uint64_t* ops) {
+  if (ops) *ops += dst.size() + src.size() + 1;
+  if (src.empty()) return false;
+  std::vector<Var> merged;
+  merged.reserve(dst.size() + src.size());
+  std::set_union(dst.begin(), dst.end(), src.begin(), src.end(),
+                 std::back_inserter(merged));
+  if (merged.size() == dst.size()) return false;
+  dst.swap(merged);
+  return true;
+}
+
+/// Per-node chunked neighbor list backed by device-heap chunks.
+class ChunkList {
+ public:
+  bool contains(Var u, std::uint32_t used_in_last,
+                std::uint64_t* ops) const {
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      const std::size_t n =
+          (i + 1 == chunks_.size()) ? used_in_last : chunks_[i].size();
+      if (ops) *ops += 1;
+      if (std::binary_search(chunks_[i].begin(), chunks_[i].begin() + n, u))
+        return true;
+    }
+    return false;
+  }
+
+  /// Inserts u if absent; allocates a new chunk from the heap when the
+  /// current one is full. Returns true when u is new.
+  bool insert(gpu::DeviceHeap<Var>& heap, Var u, std::uint64_t* ops) {
+    if (contains(u, used_, ops)) return false;
+    if (chunks_.empty() || used_ == chunks_.back().size()) {
+      chunks_.push_back(heap.alloc_chunk());
+      used_ = 0;
+      if (ops) *ops += 8;  // device malloc path
+    }
+    auto& last = chunks_.back();
+    auto end = last.begin() + used_;
+    auto it = std::lower_bound(last.begin(), end, u);
+    std::copy_backward(it, end, end + 1);
+    *it = u;
+    ++used_;
+    if (ops) *ops += 2;
+    return true;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      const std::size_t n =
+          (i + 1 == chunks_.size()) ? used_ : chunks_[i].size();
+      for (std::size_t q = 0; q < n; ++q) f(chunks_[i][q]);
+    }
+  }
+
+  std::size_t size() const {
+    if (chunks_.empty()) return 0;
+    return (chunks_.size() - 1) * chunks_.front().size() + used_;
+  }
+
+ private:
+  std::vector<std::span<Var>> chunks_;
+  std::uint32_t used_ = 0;
+};
+
+}  // namespace
+
+PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
+                  const PtaOptions& opts, PtaStats* stats) {
+  Timer timer;
+  PtaStats st;
+  const std::uint32_t n = cs.num_vars;
+
+  PtsSets pts(n);
+  gpu::DeviceHeap<Var> heap(dev, opts.chunk_elems);
+  std::vector<ChunkList> nbr(n);  // incoming (pull) or outgoing (push)
+  std::vector<std::uint8_t> changed_cur(n, 0), changed_next(n, 0);
+  std::vector<std::uint8_t> touched(n, 0);  // got a new edge this round
+  std::mutex list_mu;  // host-side guard; cost is charged via the model
+
+  // Transfer the constraints to the device (main()).
+  dev.note_copy(cs.constraints.size() * sizeof(Constraint));
+
+  // Partition constraints by kind.
+  std::vector<Constraint> addr, copy, loadstore;
+  for (const Constraint& c : cs.constraints) {
+    switch (c.kind) {
+      case ConstraintKind::kAddressOf: addr.push_back(c); break;
+      case ConstraintKind::kCopy: copy.push_back(c); break;
+      default: loadstore.push_back(c); break;
+    }
+  }
+  // Group address-of constraints by destination so the init kernel can be
+  // per-variable (one writer per points-to set, as in the pull model).
+  std::vector<std::vector<Var>> seeds(n);
+  for (const Constraint& c : addr) seeds[c.dst].push_back(c.src);
+
+  core::AdaptiveLauncher launcher(
+      opts.initial_tpb, 3,
+      std::clamp(n / (512.0 * dev.config().num_sms), 3.0, 50.0));
+
+  // Phase 1 (init): seed points-to sets from address-of constraints.
+  {
+    const gpu::LaunchConfig lc = launcher.next(dev.config());
+    const std::uint64_t T = lc.total_threads();
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t v = ctx.tid(); v < n; v += T) {
+        ctx.work(1);
+        if (seeds[v].empty()) continue;
+        std::sort(seeds[v].begin(), seeds[v].end());
+        seeds[v].erase(std::unique(seeds[v].begin(), seeds[v].end()),
+                       seeds[v].end());
+        pts[v] = seeds[v];
+        changed_cur[v] = 1;
+        ctx.work(seeds[v].size());
+        ctx.global_access(seeds[v].size());
+      }
+    });
+  }
+
+  // Static copy edges (evaluate phase of the first iteration).
+  {
+    const gpu::LaunchConfig lc = launcher.next(dev.config());
+    const std::uint64_t T = lc.total_threads();
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t i = ctx.tid(); i < copy.size(); i += T) {
+        const Constraint& c = copy[i];
+        ctx.work(1);
+        if (c.dst == c.src) continue;
+        std::uint64_t ops = 0;
+        std::scoped_lock lock(list_mu);
+        const bool added =
+            opts.push_based ? nbr[c.src].insert(heap, c.dst, &ops)
+                            : nbr[c.dst].insert(heap, c.src, &ops);
+        if (added) {
+          ++st.edges_added;
+          touched[opts.push_based ? c.src : c.dst] = 1;
+        }
+        ctx.work(ops);
+        if (opts.push_based) ctx.atomic_op();  // shared target list
+      }
+    });
+  }
+
+  std::vector<Var> snapshot;
+  bool progress = true;
+  while (progress) {
+    ++st.iterations;
+    const gpu::LaunchConfig lc = launcher.next(dev.config());
+    const std::uint64_t T = lc.total_threads();
+    std::uint64_t round_added = 0;
+    std::uint64_t round_grew = 0;
+
+    // --- phase A: load/store constraints add edges (Sec. 4: "constraints
+    // are evaluated"; edges go to the incoming list in the pull model) ---
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t i = ctx.tid(); i < loadstore.size(); i += T) {
+        const Constraint& c = loadstore[i];
+        ctx.work(1);
+        const Var ptr = (c.kind == ConstraintKind::kLoad) ? c.src : c.dst;
+        if (!changed_cur[ptr] && st.iterations > 1) continue;
+        ctx.global_access();
+        std::scoped_lock lock(list_mu);
+        for (Var raw : pts[ptr]) {
+          // With offline cycle elimination, an element acting as a pointer
+          // endpoint is represented by its copy-cycle representative.
+          const Var v = opts.pointer_rep ? (*opts.pointer_rep)[raw] : raw;
+          std::uint64_t ops = 0;
+          bool added = false;
+          if (c.kind == ConstraintKind::kLoad) {
+            // p = *q: edge v -> p.
+            if (v == c.dst) continue;
+            added = opts.push_based ? nbr[v].insert(heap, c.dst, &ops)
+                                    : nbr[c.dst].insert(heap, v, &ops);
+            if (added) touched[opts.push_based ? v : c.dst] = 1;
+          } else {
+            // *p = q: edge q -> v.
+            if (v == c.src) continue;
+            added = opts.push_based ? nbr[c.src].insert(heap, v, &ops)
+                                    : nbr[v].insert(heap, c.src, &ops);
+            if (added) touched[opts.push_based ? c.src : v] = 1;
+          }
+          if (added) {
+            ++st.edges_added;
+            ++round_added;
+          }
+          ctx.work(ops + 1);
+          if (opts.push_based) ctx.atomic_op();
+        }
+      }
+    });
+
+    // --- phase B: propagate points-to information along the edges ---
+    if (!opts.push_based) {
+      // Pull: one thread per node; no synchronization (Sec. 6.4). With
+      // divergence sorting the enabled nodes are packed first (Sec. 7.6).
+      std::vector<Var> active;
+      if (opts.divergence_sort) {
+        for (Var v = 0; v < n; ++v) {
+          bool enabled = touched[v] != 0;
+          nbr[v].for_each([&](Var u) { enabled |= changed_cur[u] != 0; });
+          if (enabled) active.push_back(v);
+        }
+      }
+      const std::uint64_t todo = opts.divergence_sort ? active.size() : n;
+      dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+        for (std::uint64_t i = ctx.tid(); i < todo; i += T) {
+          const Var v = opts.divergence_sort ? active[i]
+                                             : static_cast<Var>(i);
+          ctx.work(1);
+          bool enabled = touched[v] != 0;
+          if (!opts.divergence_sort) {
+            nbr[v].for_each([&](Var u) {
+              ctx.work(1);
+              enabled |= changed_cur[u] != 0;
+            });
+            if (!enabled) continue;
+          }
+          bool grew = false;
+          std::uint64_t ops = 0;
+          nbr[v].for_each([&](Var u) {
+            grew |= union_into(pts[v], pts[u], &ops);
+          });
+          ctx.work(ops);
+          ctx.global_access(nbr[v].size());
+          if (grew) {
+            changed_next[v] = 1;
+            ++round_grew;
+          }
+        }
+      });
+    } else {
+      // Push: a node writes into its successors' sets; every update is
+      // synchronized (the cost the pull model avoids).
+      dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+        for (std::uint64_t u = ctx.tid(); u < n; u += T) {
+          ctx.work(1);
+          if (!changed_cur[u] && !touched[u]) continue;
+          std::uint64_t ops = 0;
+          std::scoped_lock lock(list_mu);
+          nbr[u].for_each([&](Var v) {
+            ctx.atomic_op();
+            if (union_into(pts[v], pts[u], &ops)) {
+              changed_next[v] = 1;
+              ++round_grew;
+            }
+          });
+          ctx.work(ops);
+        }
+      });
+    }
+
+    st.counted_work = dev.stats().total_work;
+    std::fill(touched.begin(), touched.end(), 0);
+    changed_cur.swap(changed_next);
+    std::fill(changed_next.begin(), changed_next.end(), 0);
+    progress = round_added > 0 || round_grew > 0;
+  }
+
+  // Copy the solution back to the host.
+  for (const auto& s : pts) st.pts_total += s.size();
+  dev.note_copy(st.pts_total * sizeof(Var));
+
+  st.device_mallocs = dev.stats().device_mallocs;
+  st.wall_seconds = timer.seconds();
+  st.modeled_cycles = dev.stats().modeled_cycles;
+  if (stats) *stats = st;
+  return pts;
+}
+
+}  // namespace morph::pta

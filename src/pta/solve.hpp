@@ -1,0 +1,54 @@
+// Points-to solvers: serial reference, multicore push-based baseline, and
+// the paper's GPU implementation (pull-based, two-phase, with Kernel-Only
+// chunked storage for the dynamically growing incoming-edge lists).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/cpu_runner.hpp"
+#include "gpu/device.hpp"
+#include "pta/constraints.hpp"
+
+namespace morph::pta {
+
+/// Final solution: pts[v] is the sorted set of variables v may point to.
+using PtsSets = std::vector<std::vector<Var>>;
+
+struct PtaStats {
+  std::uint64_t iterations = 0;   ///< fixed-point rounds
+  std::uint64_t edges_added = 0;  ///< constraint-graph edges materialized
+  std::uint64_t pts_total = 0;    ///< sum of final set sizes
+  std::uint64_t counted_work = 0;
+  std::uint64_t device_mallocs = 0;  ///< GPU driver: chunk allocations
+  double wall_seconds = 0.0;
+  double modeled_cycles = 0.0;
+};
+
+struct PtaOptions {
+  bool push_based = false;      ///< ablation: push (atomics) vs pull
+  bool divergence_sort = true;  ///< pack enabled pointer nodes (Sec. 7.6)
+  std::uint32_t chunk_elems = 1024;  ///< Kernel-Only chunk size (512..4096)
+  std::uint32_t initial_tpb = 128;   ///< paper: PTA starts at 128, doubles
+  /// Pointer-representative table from offline cycle elimination
+  /// (pta/cycle_elim.hpp): dynamically discovered edges route their
+  /// pointer endpoint through it. Null = identity.
+  const std::vector<Var>* pointer_rep = nullptr;
+};
+
+/// Naive iterate-to-fixpoint reference solver (the "Serial" column).
+PtsSets solve_serial(const ConstraintSet& cs, PtaStats* stats = nullptr);
+
+/// Galois-like multicore baseline: rounds over constraints, push-based
+/// propagation with synchronized target updates.
+PtsSets solve_multicore(const ConstraintSet& cs, cpu::ParallelRunner& runner,
+                        PtaStats* stats = nullptr);
+
+/// The paper's GPU algorithm on the simulator.
+PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
+                  const PtaOptions& opts = {}, PtaStats* stats = nullptr);
+
+/// Set equality of two solutions (the fixed point is unique).
+bool equal_pts(const PtsSets& a, const PtsSets& b);
+
+}  // namespace morph::pta

@@ -1,0 +1,71 @@
+#include "sp/cnf.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace morph::sp {
+
+void write_dimacs_cnf(const Formula& f, std::ostream& os) {
+  os << "p cnf " << f.num_lits << ' ' << f.num_clauses() << '\n';
+  for (Clause c = 0; c < f.num_clauses(); ++c) {
+    for (std::uint32_t s = 0; s < f.k; ++s) {
+      const std::int64_t lit = static_cast<std::int64_t>(f.lit(c, s)) + 1;
+      os << (f.neg(c, s) ? -lit : lit) << ' ';
+    }
+    os << "0\n";
+  }
+}
+
+Formula read_dimacs_cnf(std::istream& is) {
+  Formula f;
+  std::string line;
+  bool have_header = false;
+  std::uint64_t expected_clauses = 0;
+  std::vector<std::int64_t> clause;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    if (line[0] == 'p') {
+      std::string p, cnf;
+      std::uint64_t vars = 0;
+      ls >> p >> cnf >> vars >> expected_clauses;
+      MORPH_CHECK_MSG(cnf == "cnf", "not a DIMACS CNF file");
+      MORPH_CHECK_MSG(vars > 0, "CNF without variables");
+      f.num_lits = static_cast<std::uint32_t>(vars);
+      have_header = true;
+      continue;
+    }
+    MORPH_CHECK_MSG(have_header, "clause before the p-line");
+    std::int64_t v = 0;
+    while (ls >> v) {
+      if (v == 0) {
+        MORPH_CHECK_MSG(!clause.empty(), "empty clause");
+        if (f.clause_lit.empty()) {
+          f.k = static_cast<std::uint32_t>(clause.size());
+        }
+        MORPH_CHECK_MSG(clause.size() == f.k,
+                        "mixed clause lengths are not supported (K="
+                            << f.k << ", got " << clause.size() << ")");
+        for (std::int64_t lit : clause) {
+          const std::uint64_t var = static_cast<std::uint64_t>(
+              lit > 0 ? lit : -lit) - 1;
+          MORPH_CHECK_MSG(var < f.num_lits, "literal out of range");
+          f.clause_lit.push_back(static_cast<Lit>(var));
+          f.negated.push_back(lit < 0 ? 1 : 0);
+        }
+        clause.clear();
+      } else {
+        clause.push_back(v);
+      }
+    }
+  }
+  MORPH_CHECK_MSG(clause.empty(), "unterminated clause");
+  MORPH_CHECK_MSG(f.num_clauses() == expected_clauses,
+                  "clause count disagrees with the p-line");
+  return f;
+}
+
+}  // namespace morph::sp

@@ -1,0 +1,20 @@
+// DIMACS CNF import/export for the SAT formulas, so instances can be
+// exchanged with standard SAT tooling. Only uniform-K formulas are
+// representable in this library; read_dimacs_cnf rejects mixed clause
+// lengths.
+#pragma once
+
+#include <iosfwd>
+
+#include "sp/factor_graph.hpp"
+
+namespace morph::sp {
+
+/// Writes "p cnf <vars> <clauses>" followed by clause lines (1-based,
+/// negative literal = negated occurrence).
+void write_dimacs_cnf(const Formula& f, std::ostream& os);
+
+/// Parses a DIMACS CNF whose clauses all have the same length K.
+Formula read_dimacs_cnf(std::istream& is);
+
+}  // namespace morph::sp

@@ -1,0 +1,105 @@
+// Survey Propagation (Braunstein, Mezard, Zecchina) — the paper's SP
+// application (Sec. 3).
+//
+// The solver alternates: (1) iterate the survey update equations on the
+// factor graph until the maximum change drops below epsilon, (2) compute
+// literal biases and fix ("decimate") the most biased literals, deleting
+// the affected subgraph by marking, (3) repeat on the reduced graph; when
+// only trivial surveys remain or few literals are left, hand the residual
+// formula to a WalkSAT endgame.
+//
+// The per-literal product cache (`SurveyCache`) is the paper's "caches
+// computations along the edges" optimization — without it every edge update
+// re-walks its literals' clause lists, which is what makes the multicore
+// version blow up for K >= 4 (Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/cpu_runner.hpp"
+#include "gpu/device.hpp"
+#include "sp/factor_graph.hpp"
+
+namespace morph::sp {
+
+struct SpOptions {
+  double eps = 1e-3;              ///< survey convergence threshold
+  std::uint32_t max_sweeps = 300; ///< per decimation phase
+  double decimate_frac = 0.01;    ///< fraction of literals fixed per phase
+  double trivial_bias = 0.02;     ///< below this max bias, surveys are trivial
+  std::uint32_t endgame_lits = 64;      ///< hand to WalkSAT below this
+  std::uint64_t walksat_flips = 2'000'000;
+  /// Scale the flip budget with the residual size (4000 x unfixed vars).
+  /// Benches measuring only the survey iteration turn this off together
+  /// with a tiny walksat_flips.
+  bool walksat_auto_budget = true;
+  double walksat_p = 0.5;
+  std::uint32_t max_phases = 1u << 20;
+  bool cache_products = true;     ///< the edge-caching optimization
+  std::uint64_t work_budget = ~0ull;  ///< counted ops before declaring OOT
+  std::uint64_t seed = 1;
+};
+
+struct SpResult {
+  bool solved = false;
+  bool contradiction = false;  ///< decimation emptied a clause
+  bool out_of_time = false;    ///< exceeded work_budget
+  std::vector<std::uint8_t> assignment;  ///< meaningful when solved
+  std::uint64_t sweeps = 0;
+  std::uint64_t phases = 0;
+  std::uint64_t fixed_by_sp = 0;
+  std::uint64_t walksat_flips_used = 0;
+  std::uint64_t counted_work = 0;
+  double wall_seconds = 0.0;
+  double modeled_cycles = 0.0;
+};
+
+/// Per-literal survey product cache: prod(1-eta) over the literal's alive
+/// edges, split by occurrence sign.
+struct SurveyCache {
+  std::vector<double> pos;  ///< prod over positive occurrences
+  std::vector<double> neg;  ///< prod over negated occurrences
+};
+
+// --- algorithm core (shared by every driver) ---
+
+/// Recomputes the cache entry of literal i. Returns counted ops.
+std::uint64_t refresh_cache_lit(const FactorGraph& g, Lit i, SurveyCache& c);
+
+/// Updates the surveys of all alive edges of clause c in place. Returns the
+/// max |delta| over its edges; adds counted ops to *ops. `cache` may be
+/// null (the uncached variant walks the literal clause lists directly).
+double update_clause(FactorGraph& g, Clause c, const SurveyCache* cache,
+                     std::uint64_t* ops);
+
+struct Bias {
+  double magnitude = 0.0;
+  bool value = false;  ///< the side the literal is biased toward
+};
+
+/// Bias of literal i from the current surveys. Adds ops to *ops.
+Bias literal_bias(const FactorGraph& g, Lit i, std::uint64_t* ops);
+
+/// WalkSAT over the residual (alive) part of g; fills g.assignment for the
+/// remaining literals. Returns flips used, or ~0ull on failure.
+std::uint64_t walksat_residual(FactorGraph& g, const SpOptions& opts,
+                               Rng& rng);
+
+// --- drivers ---
+
+/// Single-threaded reference implementation.
+SpResult solve_serial(const Formula& f, const SpOptions& opts = {});
+
+/// Multicore baseline (Galois stand-in): same schedule, per-clause work
+/// over virtual workers, *no* product cache (matching the paper's multicore
+/// version, which repeats graph traversals).
+SpResult solve_multicore(const Formula& f, cpu::ParallelRunner& runner,
+                         SpOptions opts = {});
+
+/// The paper's GPU implementation on the simulator: clause-update, cache,
+/// bias and decimation kernels, fixed 1024-thread blocks.
+SpResult solve_gpu(const Formula& f, gpu::Device& dev,
+                   const SpOptions& opts = {});
+
+}  // namespace morph::sp

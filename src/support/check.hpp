@@ -1,0 +1,48 @@
+// Lightweight runtime checking used across the library.
+//
+// MORPH_CHECK is an always-on invariant check (it is not compiled out in
+// release builds): morph algorithms are full of subtle concurrency and
+// geometry invariants, and silent corruption is far more expensive than the
+// branch. Violations throw morph::CheckError so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace morph {
+
+/// Thrown when a MORPH_CHECK invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MORPH_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace morph
+
+#define MORPH_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::morph::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MORPH_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream morph_check_os;                               \
+      morph_check_os << msg;                                           \
+      ::morph::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    morph_check_os.str());             \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,48 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+namespace morph {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags_[arg] = "1";
+    } else {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& dflt) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? dflt : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t dflt) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double dflt) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool dflt) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return dflt;
+  return it->second != "0" && it->second != "false";
+}
+
+}  // namespace morph

@@ -1,0 +1,28 @@
+// Minimal --key=value command-line parsing for benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace morph {
+
+/// Parses flags of the form --name=value (or bare --name, meaning "1").
+/// Positional arguments are collected in order.
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& name, std::int64_t dflt) const;
+  double get_double(const std::string& name, double dflt) const;
+  bool get_bool(const std::string& name, bool dflt) const;
+
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace morph

@@ -1,0 +1,34 @@
+// Morton (Z-order) encoding: the space-filling-curve key used by the mesh
+// generators, the point-location insertion order, and the memory-layout
+// scan. One definition; callers in graph/ and dmr/ share it.
+#pragma once
+
+#include <cstdint>
+
+namespace morph {
+
+/// Interleaves the low 32 bits of x and y (x in even positions).
+inline std::uint64_t morton_interleave(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0xffffffffULL;
+    v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    v = (v | (v << 2)) & 0x3333333333333333ULL;
+    v = (v | (v << 1)) & 0x5555555555555555ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+/// Morton key of a point in the unit square (coordinates clamped to [0,1]).
+inline std::uint64_t morton_unit(double x, double y) {
+  auto scale = [](double v) {
+    if (v < 0.0) v = 0.0;
+    if (v > 1.0) v = 1.0;
+    return static_cast<std::uint32_t>(v * static_cast<double>(1u << 30));
+  };
+  return morton_interleave(scale(x), scale(y));
+}
+
+}  // namespace morph

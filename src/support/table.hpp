@@ -1,0 +1,30 @@
+// Plain-text table printer: benches use it to emit rows in the same shape as
+// the paper's figures/tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace morph {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row. Cells beyond the header width are dropped; missing cells
+  /// are blank.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace morph

@@ -1,0 +1,256 @@
+// Unit tests for the generic morph machinery: the 3-phase conflict
+// resolution protocol (including a reconstruction of the 2-phase race the
+// paper describes), lock-based claiming, slot recycling, adaptive
+// configuration, and divergence packing.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "support/rng.hpp"
+
+#include "core/adaptive.hpp"
+#include "core/conflict.hpp"
+#include "core/divergence.hpp"
+#include "core/strategies.hpp"
+
+namespace morph::core {
+namespace {
+
+gpu::ThreadCtx dummy_ctx() { return {}; }
+
+TEST(MarkTable, RaceLastWriterWins) {
+  MarkTable marks(8);
+  auto ctx = dummy_ctx();
+  const std::uint32_t hood[] = {1, 2, 3};
+  marks.race_mark(ctx, 10, hood);
+  marks.race_mark(ctx, 20, hood);
+  for (std::uint32_t e : hood) EXPECT_EQ(marks.owner(e), 20u);
+  EXPECT_EQ(marks.owner(0), MarkTable::kNoOwner);
+}
+
+TEST(MarkTable, ExactCheckDetectsOverwrites) {
+  MarkTable marks(8);
+  auto ctx = dummy_ctx();
+  const std::uint32_t a[] = {1, 2};
+  const std::uint32_t b[] = {2, 3};
+  marks.race_mark(ctx, 1, a);
+  marks.race_mark(ctx, 2, b);
+  EXPECT_FALSE(marks.exact_check(ctx, 1, a));  // lost element 2
+  EXPECT_TRUE(marks.exact_check(ctx, 2, b));
+}
+
+TEST(MarkTable, PriorityCheckHigherIdWinsShared) {
+  MarkTable marks(8);
+  auto ctx = dummy_ctx();
+  const std::uint32_t a[] = {1, 2};
+  const std::uint32_t b[] = {2, 3};
+  // Race phase: thread 5 then thread 9 mark; 9 holds the shared element.
+  marks.race_mark(ctx, 5, a);
+  marks.race_mark(ctx, 9, b);
+  // Prioritycheck: 5 sees 9 on element 2 and backs off; 9 keeps all.
+  EXPECT_FALSE(marks.priority_check(ctx, 5, a));
+  EXPECT_TRUE(marks.priority_check(ctx, 9, b));
+  EXPECT_TRUE(marks.final_check(ctx, 9, b));
+}
+
+TEST(MarkTable, PriorityCheckLowerMarkGetsOverwritten) {
+  MarkTable marks(8);
+  auto ctx = dummy_ctx();
+  const std::uint32_t a[] = {1, 2};
+  const std::uint32_t b[] = {2, 3};
+  marks.race_mark(ctx, 9, b);
+  marks.race_mark(ctx, 5, a);  // 5 wrote last on the shared element
+  // 9 has priority: it re-marks element 2.
+  EXPECT_TRUE(marks.priority_check(ctx, 9, b));
+  EXPECT_EQ(marks.owner(2), 9u);
+  // 5 discovers the loss only in the read-only check phase.
+  EXPECT_FALSE(marks.final_check(ctx, 5, a));
+}
+
+TEST(MarkTable, TwoPhaseRaceFromPaperBothProceed) {
+  // Reconstruct the interleaving of Sec. 7.3: cavities of t_i > t_j share a
+  // triangle; t_j wrote last in the race phase; t_j prioritychecks first
+  // and passes, then t_i prioritychecks, re-marks, and also passes — both
+  // threads believe they own the overlapping cavities. The 2-phase
+  // protocol is incorrect.
+  MarkTable marks(8);
+  auto ctx = dummy_ctx();
+  const std::uint32_t ti_hood[] = {1, 2};  // t_i = 9
+  const std::uint32_t tj_hood[] = {2, 3};  // t_j = 4, shares element 2
+  marks.race_mark(ctx, 9, ti_hood);
+  marks.race_mark(ctx, 4, tj_hood);  // t_j writes the shared element last
+  // --- global barrier ---
+  const bool tj_owns = marks.priority_check(ctx, 4, tj_hood);  // runs first
+  const bool ti_owns = marks.priority_check(ctx, 9, ti_hood);  // re-marks
+  EXPECT_TRUE(tj_owns);
+  EXPECT_TRUE(ti_owns);  // the race: overlapping winners
+
+  // The read-only third phase resolves it: t_j's final check fails.
+  EXPECT_FALSE(marks.final_check(ctx, 4, tj_hood));
+  EXPECT_TRUE(marks.final_check(ctx, 9, ti_hood));
+}
+
+TEST(MarkTable, ThreePhaseYieldsDisjointWinnersUnderContention) {
+  // Property: after race + prioritycheck + check over many overlapping
+  // neighborhoods, accepted neighborhoods are pairwise disjoint.
+  constexpr std::uint32_t kThreads = 64, kElems = 96;
+  MarkTable marks(kElems);
+  auto ctx = dummy_ctx();
+  Rng rng(5);
+  std::vector<std::vector<std::uint32_t>> hoods(kThreads);
+  for (auto& h : hoods) {
+    std::set<std::uint32_t> s;
+    while (s.size() < 5) s.insert(static_cast<std::uint32_t>(rng.next_below(kElems)));
+    h.assign(s.begin(), s.end());
+  }
+  for (std::uint32_t t = 0; t < kThreads; ++t)
+    marks.race_mark(ctx, t, hoods[t]);
+  std::vector<bool> owns(kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t)
+    owns[t] = marks.priority_check(ctx, t, hoods[t]);
+  std::vector<std::uint32_t> winner_of(kElems, MarkTable::kNoOwner);
+  std::uint32_t winners = 0;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    if (!owns[t] || !marks.final_check(ctx, t, hoods[t])) continue;
+    ++winners;
+    for (std::uint32_t e : hoods[t]) {
+      EXPECT_EQ(winner_of[e], MarkTable::kNoOwner)
+          << "element " << e << " claimed twice";
+      winner_of[e] = t;
+    }
+  }
+  EXPECT_GT(winners, 0u);
+}
+
+TEST(MarkTable, ResetClearsOwnership) {
+  MarkTable marks(4);
+  auto ctx = dummy_ctx();
+  const std::uint32_t hood[] = {0, 1, 2, 3};
+  marks.race_mark(ctx, 7, hood);
+  marks.reset();
+  for (std::uint32_t e : hood) EXPECT_EQ(marks.owner(e), MarkTable::kNoOwner);
+}
+
+TEST(MarkTable, ResizePreservesNoOwnerDefault) {
+  MarkTable marks(2);
+  marks.resize(10);
+  EXPECT_EQ(marks.size(), 10u);
+  EXPECT_EQ(marks.owner(9), MarkTable::kNoOwner);
+}
+
+TEST(MarkTable, TryClaimAllOrNothing) {
+  MarkTable marks(8);
+  auto ctx = dummy_ctx();
+  const std::uint32_t a[] = {1, 2, 3};
+  const std::uint32_t b[] = {3, 4};
+  EXPECT_TRUE(marks.try_claim(ctx, 1, a));
+  EXPECT_FALSE(marks.try_claim(ctx, 2, b));  // 3 is held
+  // The failed claim must not leave partial ownership on 4... it released.
+  EXPECT_EQ(marks.owner(4), MarkTable::kNoOwner);
+  marks.release(ctx, 1, a);
+  EXPECT_TRUE(marks.try_claim(ctx, 2, b));
+}
+
+TEST(MarkTable, TryClaimChargesAtomics) {
+  MarkTable marks(8);
+  gpu::ThreadCtx ctx;
+  const std::uint32_t a[] = {0, 1};
+  marks.try_claim(ctx, 3, a);
+  EXPECT_GE(ctx.counted_work(), 2u);
+}
+
+TEST(SlotRecycler, GiveTakeFifo) {
+  SlotRecycler rec(16);
+  EXPECT_FALSE(rec.take().has_value());
+  EXPECT_TRUE(rec.give(42));
+  EXPECT_TRUE(rec.give(43));
+  EXPECT_EQ(rec.available(), 2u);
+  EXPECT_EQ(rec.take().value(), 42u);
+  EXPECT_EQ(rec.take().value(), 43u);
+  EXPECT_FALSE(rec.take().has_value());
+}
+
+TEST(SlotRecycler, OverflowReportsFalse) {
+  SlotRecycler rec(2);
+  EXPECT_TRUE(rec.give(1));
+  EXPECT_TRUE(rec.give(2));
+  EXPECT_FALSE(rec.give(3));
+}
+
+TEST(SlotRecycler, ClearResets) {
+  SlotRecycler rec(4);
+  rec.give(1);
+  rec.clear();
+  EXPECT_EQ(rec.available(), 0u);
+  EXPECT_FALSE(rec.take().has_value());
+}
+
+TEST(SlotRecycler, ConcurrentGiveTakeLosesNothing) {
+  SlotRecycler rec(10000);
+  std::vector<std::thread> givers;
+  for (int t = 0; t < 4; ++t) {
+    givers.emplace_back([&rec, t] {
+      for (std::uint32_t i = 0; i < 1000; ++i)
+        rec.give(static_cast<std::uint32_t>(t) * 1000 + i);
+    });
+  }
+  for (auto& th : givers) th.join();
+  std::set<std::uint32_t> got;
+  while (auto v = rec.take()) got.insert(*v);
+  EXPECT_EQ(got.size(), 4000u);
+}
+
+TEST(Adaptive, DoublesThreadsPerBlockThenHolds) {
+  gpu::DeviceConfig dev;
+  AdaptiveLauncher launcher(64, 3, 12.0);
+  EXPECT_EQ(launcher.next(dev).threads_per_block, 64u);
+  EXPECT_EQ(launcher.next(dev).threads_per_block, 128u);
+  EXPECT_EQ(launcher.next(dev).threads_per_block, 256u);
+  EXPECT_EQ(launcher.next(dev).threads_per_block, 512u);
+  EXPECT_EQ(launcher.next(dev).threads_per_block, 512u);  // holds
+}
+
+TEST(Adaptive, BlockCountFixedPerRun) {
+  gpu::DeviceConfig dev;
+  AdaptiveLauncher launcher(128, 3, 3.0);
+  const auto first = launcher.next(dev);
+  EXPECT_EQ(first.blocks, 3u * dev.num_sms);
+  EXPECT_EQ(launcher.next(dev).blocks, first.blocks);
+}
+
+TEST(Adaptive, CapsAtMaxTpb) {
+  gpu::DeviceConfig dev;
+  AdaptiveLauncher launcher(512, 3, 3.0, 1024);
+  launcher.next(dev);
+  launcher.next(dev);
+  EXPECT_EQ(launcher.next(dev).threads_per_block, 1024u);
+}
+
+TEST(Adaptive, FixedConfigHelper) {
+  gpu::DeviceConfig dev;
+  const auto lc = fixed_config(dev, 2.0, 96);
+  EXPECT_EQ(lc.blocks, 28u);
+  EXPECT_EQ(lc.threads_per_block, 96u);
+}
+
+TEST(Divergence, PackActiveMovesAndCounts) {
+  std::vector<std::uint32_t> ids = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::uint32_t n =
+      pack_active(ids, [](std::uint32_t v) { return v % 3 == 0; });
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ((std::vector<std::uint32_t>{0, 3, 6}),
+            std::vector<std::uint32_t>(ids.begin(), ids.begin() + 3));
+  // Stability: inactive keep relative order.
+  EXPECT_EQ((std::vector<std::uint32_t>{1, 2, 4, 5, 7}),
+            std::vector<std::uint32_t>(ids.begin() + 3, ids.end()));
+}
+
+TEST(Divergence, PackActiveAllOrNone) {
+  std::vector<std::uint32_t> ids = {5, 6};
+  EXPECT_EQ(pack_active(ids, [](std::uint32_t) { return true; }), 2u);
+  EXPECT_EQ(pack_active(ids, [](std::uint32_t) { return false; }), 0u);
+}
+
+}  // namespace
+}  // namespace morph::core

@@ -1,0 +1,433 @@
+// Tests for Delaunay mesh refinement: geometry predicates, the mesh
+// structure, Bowyer-Watson triangulation, cavities, and the three
+// refinement drivers (serial / multicore / GPU) across schemes and options.
+#include <gtest/gtest.h>
+
+#include "dmr/cavity.hpp"
+#include "dmr/delaunay.hpp"
+#include "dmr/geometry.hpp"
+#include "dmr/mesh.hpp"
+#include "dmr/refine.hpp"
+#include "support/rng.hpp"
+
+namespace morph::dmr {
+namespace {
+
+TEST(Geometry, OrientationSign) {
+  const Pt64 a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_GT(orient2d(a, b, c), 0.0);  // CCW
+  EXPECT_LT(orient2d(a, c, b), 0.0);  // CW
+  EXPECT_DOUBLE_EQ(orient2d(a, b, Pt64{2, 0}), 0.0);  // collinear
+}
+
+TEST(Geometry, IncircleUnitTriangle) {
+  const Pt64 a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_GT(incircle(a, b, c, Pt64{0.3, 0.3}), 0.0);   // inside
+  EXPECT_LT(incircle(a, b, c, Pt64{2.0, 2.0}), 0.0);   // outside
+  EXPECT_NEAR(incircle(a, b, c, Pt64{1.0, 1.0}), 0.0, 1e-12);  // on circle
+}
+
+TEST(Geometry, CircumcenterEquidistant) {
+  const Pt64 a{0.1, 0.2}, b{0.9, 0.15}, c{0.4, 0.8};
+  const Pt64 cc = circumcenter(a, b, c);
+  const double ra = dist2(cc, a), rb = dist2(cc, b), rc = dist2(cc, c);
+  EXPECT_NEAR(ra, rb, 1e-12);
+  EXPECT_NEAR(ra, rc, 1e-12);
+}
+
+TEST(Geometry, AngleCosKnownValues) {
+  const Pt64 a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_NEAR(angle_cos_at(a, b, c), 0.0, 1e-12);           // 90 degrees
+  EXPECT_NEAR(angle_cos_at(b, a, c), std::sqrt(0.5), 1e-12);  // 45 degrees
+}
+
+TEST(Geometry, SmallAngleDetection) {
+  // Sliver: apex angle far below 30 degrees.
+  const Pt64 a{0, 0}, b{1, 0}, c{0.5, 0.02};
+  EXPECT_TRUE(has_small_angle(a, b, c, cos_of_deg(30.0)));
+  // Equilateral: all angles 60 degrees.
+  const Pt64 e1{0, 0}, e2{1, 0}, e3{0.5, std::sqrt(3.0) / 2};
+  EXPECT_FALSE(has_small_angle(e1, e2, e3, cos_of_deg(30.0)));
+  EXPECT_TRUE(has_small_angle(e1, e2, e3, cos_of_deg(61.0)));
+}
+
+TEST(Geometry, DiametralCircle) {
+  const Pt64 a{0, 0}, b{1, 0};
+  EXPECT_TRUE(in_diametral_circle(a, b, Pt64{0.5, 0.2}));
+  EXPECT_FALSE(in_diametral_circle(a, b, Pt64{0.5, 0.9}));
+  EXPECT_FALSE(in_diametral_circle(a, b, Pt64{1.4, 0.0}));
+}
+
+TEST(Geometry, FloatPredicatesAgreeOnClearCases) {
+  const Pt<float> a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_GT(incircle(a, b, c, Pt<float>{0.3f, 0.3f}), 0.0f);
+  EXPECT_LT(incircle(a, b, c, Pt<float>{2.0f, 2.0f}), 0.0f);
+}
+
+TEST(Mesh, AddTriangleEnforcesCcw) {
+  Mesh m;
+  const Vtx a = m.add_point(0, 0), b = m.add_point(1, 0), c = m.add_point(0, 1);
+  const Tri t = m.add_triangle(a, c, b);  // given CW; must be stored CCW
+  const auto& v = m.verts(t);
+  EXPECT_GT(orient2d(m.point(v[0]), m.point(v[1]), m.point(v[2])), 0.0);
+}
+
+TEST(Mesh, DegenerateTriangleRejected) {
+  Mesh m;
+  const Vtx a = m.add_point(0, 0), b = m.add_point(1, 1), c = m.add_point(2, 2);
+  EXPECT_THROW(m.add_triangle(a, b, c), CheckError);
+}
+
+TEST(Mesh, EdgeIndexFindsSharedEdge) {
+  Mesh m;
+  const Vtx a = m.add_point(0, 0), b = m.add_point(1, 0), c = m.add_point(0, 1);
+  const Tri t = m.add_triangle(a, b, c);
+  const int e = m.edge_index(t, a, b);
+  const auto [u, v] = m.edge_verts(t, e);
+  EXPECT_EQ(std::minmax(u, v), std::minmax(a, b));
+  EXPECT_THROW(m.edge_index(t, a, 99), CheckError);
+}
+
+TEST(Mesh, DeletionAndRecycleSlot) {
+  Mesh m;
+  const Vtx a = m.add_point(0, 0), b = m.add_point(1, 0), c = m.add_point(0, 1),
+            d = m.add_point(1, 1);
+  const Tri t = m.add_triangle(a, b, c);
+  EXPECT_EQ(m.num_live(), 1u);
+  m.mark_deleted(t);
+  EXPECT_EQ(m.num_live(), 0u);
+  EXPECT_THROW(m.mark_deleted(t), CheckError);  // double delete
+  m.write_triangle(t, b, c, d);  // recycle the slot
+  EXPECT_EQ(m.num_live(), 1u);
+  EXPECT_FALSE(m.is_deleted(t));
+}
+
+TEST(Mesh, ValidateCatchesAsymmetricAdjacency) {
+  Mesh m;
+  const Vtx a = m.add_point(0, 0), b = m.add_point(1, 0), c = m.add_point(0, 1),
+            d = m.add_point(1, 1);
+  const Tri t0 = m.add_triangle(a, b, c);
+  const Tri t1 = m.add_triangle(b, d, c);
+  // Wire only one direction.
+  m.set_neighbor(t0, m.edge_index(t0, b, c), t1);
+  for (int e = 0; e < 3; ++e) {
+    if (m.across(t0, e) == Mesh::kNone) m.set_neighbor(t0, e, Mesh::kBoundary);
+    if (m.across(t1, e) == Mesh::kNone) m.set_neighbor(t1, e, Mesh::kBoundary);
+  }
+  std::string why;
+  EXPECT_FALSE(m.validate(&why));
+  EXPECT_NE(why.find("asymmetric"), std::string::npos);
+}
+
+TEST(Delaunay, TwoTriangleSquare) {
+  Mesh m = triangulate_square({});
+  EXPECT_EQ(m.num_live(), 2u);
+  EXPECT_TRUE(m.validate());
+  EXPECT_TRUE(is_delaunay(m));
+  EXPECT_EQ(m.count_hull_edges(), 4u);
+}
+
+TEST(Delaunay, SinglePointMakesFan) {
+  const Pt64 pts[] = {{0.5, 0.5}};
+  Mesh m = triangulate_square(pts);
+  // 4 corners + 1 interior: 2*5 - 2 - 4 = 4 triangles.
+  EXPECT_EQ(m.num_live(), 4u);
+  EXPECT_TRUE(m.validate());
+  EXPECT_TRUE(is_delaunay(m));
+}
+
+TEST(Delaunay, RejectsPointOutsideSquare) {
+  const Pt64 pts[] = {{1.5, 0.5}};
+  EXPECT_THROW(triangulate_square(pts), CheckError);
+}
+
+class DelaunaySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DelaunaySweep, RandomPointsYieldValidDelaunayMesh) {
+  const auto [npts, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<Pt64> pts;
+  for (int i = 0; i < npts; ++i) {
+    pts.push_back({0.01 + 0.98 * rng.next_double(),
+                   0.01 + 0.98 * rng.next_double()});
+  }
+  Mesh m = triangulate_square(pts);
+  std::string why;
+  EXPECT_TRUE(m.validate(&why)) << why;
+  EXPECT_TRUE(is_delaunay(m));
+  // Euler: triangles = 2*points - 2 - hull_edges (all points are vertices;
+  // hull is the square plus nothing else).
+  EXPECT_EQ(m.num_live(), 2 * (npts + 4) - 2 - m.count_hull_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunaySweep,
+                         ::testing::Combine(::testing::Values(5, 50, 500,
+                                                              2000),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Delaunay, GeneratorHasRoughlyHalfBadTriangles) {
+  Mesh m = generate_input_mesh(5000, 77);
+  const double frac = static_cast<double>(m.compute_all_bad(30.0)) /
+                      static_cast<double>(m.num_live());
+  EXPECT_GT(frac, 0.30);
+  EXPECT_LT(frac, 0.70);
+}
+
+TEST(Delaunay, LocateTriangleFindsContainer) {
+  Mesh m = generate_input_mesh(500, 3);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const Pt64 p{0.05 + 0.9 * rng.next_double(),
+                 0.05 + 0.9 * rng.next_double()};
+    const Tri t = locate_triangle(m, 0, p, nullptr);
+    ASSERT_NE(t, Mesh::kNone);
+    const auto& v = m.verts(t);
+    EXPECT_GE(orient2d(m.point(v[0]), m.point(v[1]), p), 0.0);
+    EXPECT_GE(orient2d(m.point(v[1]), m.point(v[2]), p), 0.0);
+    EXPECT_GE(orient2d(m.point(v[2]), m.point(v[0]), p), 0.0);
+  }
+}
+
+TEST(Cavity, InsertionCavityCoversCircumcircleContainment) {
+  Mesh m = generate_input_mesh(300, 5);
+  const Pt64 p{0.5, 0.5};
+  const Tri at = locate_triangle(m, 0, p, nullptr);
+  ASSERT_NE(at, Mesh::kNone);
+  Cavity c = build_insertion_cavity(m, at, p);
+  EXPECT_TRUE(c.ok);
+  EXPECT_FALSE(c.tris.empty());
+  EXPECT_GE(c.frontier.size(), c.tris.size() + 2);
+  // Every cavity triangle's circumcircle contains p.
+  for (Tri t : c.tris) {
+    const auto& v = m.verts(t);
+    EXPECT_GT(incircle(m.point(v[0]), m.point(v[1]), m.point(v[2]), p), 0.0);
+  }
+}
+
+TEST(Cavity, RetriangulationKeepsMeshValidAndDelaunay) {
+  Mesh m = generate_input_mesh(300, 6);
+  const Pt64 p{0.37, 0.61};
+  const Tri at = locate_triangle(m, 0, p, nullptr);
+  Cavity c = build_insertion_cavity(m, at, p);
+  const std::size_t before = m.num_live();
+  retriangulate(m, c, cos_of_deg(30.0));
+  EXPECT_EQ(m.num_live(), before - c.tris.size() + c.frontier.size());
+  std::string why;
+  EXPECT_TRUE(m.validate(&why)) << why;
+  EXPECT_TRUE(is_delaunay(m));
+}
+
+TEST(Cavity, NeighborhoodIncludesOutsideRing) {
+  Mesh m = generate_input_mesh(300, 7);
+  m.compute_all_bad(30.0);
+  Tri bad = Mesh::kNone;
+  for (Tri t = 0; t < m.num_slots(); ++t) {
+    if (!m.is_deleted(t) && m.is_bad(t)) {
+      bad = t;
+      break;
+    }
+  }
+  ASSERT_NE(bad, Mesh::kNone);
+  Cavity c = build_refinement_cavity(m, bad);
+  ASSERT_TRUE(c.ok);
+  const auto hood = c.neighborhood(m);
+  for (Tri t : c.tris) {
+    EXPECT_TRUE(std::binary_search(hood.begin(), hood.end(), t));
+  }
+  for (const FrontierEdge& f : c.frontier) {
+    if (f.outside != Mesh::kBoundary) {
+      EXPECT_TRUE(std::binary_search(hood.begin(), hood.end(), f.outside));
+    }
+  }
+}
+
+// ---- refinement drivers ----
+
+void expect_refined(const Mesh& m, const char* what) {
+  Mesh copy = m;
+  EXPECT_EQ(copy.compute_all_bad(30.0), 0u) << what;
+  std::string why;
+  EXPECT_TRUE(copy.validate(&why)) << what << ": " << why;
+}
+
+TEST(RefineSerial, EliminatesAllBadTriangles) {
+  Mesh m = generate_input_mesh(1500, 11);
+  const RefineStats st = refine_serial(m);
+  EXPECT_GT(st.initial_bad, 0u);
+  EXPECT_GT(st.processed, st.initial_bad / 2);
+  EXPECT_EQ(st.final_triangles, m.num_live());
+  expect_refined(m, "serial");
+  EXPECT_TRUE(is_delaunay(m)) << "Chew refinement preserves Delaunayhood";
+}
+
+TEST(RefineSerial, NoRecycleStillCorrect) {
+  Mesh m = generate_input_mesh(800, 12);
+  RefineOptions opts;
+  opts.recycle = false;
+  refine_serial(m, opts);
+  expect_refined(m, "serial no-recycle");
+}
+
+TEST(RefineSerial, AlreadyGoodMeshIsNoop) {
+  Mesh m = generate_input_mesh(800, 13);
+  refine_serial(m);
+  const std::size_t tris = m.num_live();
+  const RefineStats st = refine_serial(m);
+  EXPECT_EQ(st.initial_bad, 0u);
+  EXPECT_EQ(st.processed, 0u);
+  EXPECT_EQ(m.num_live(), tris);
+}
+
+TEST(RefineSerial, FloatPredicatesAlsoConverge) {
+  Mesh m = generate_input_mesh(800, 14);
+  RefineOptions opts;
+  opts.use_float = true;
+  refine_serial(m, opts);
+  expect_refined(m, "serial float");
+}
+
+TEST(RefineMulticore, EliminatesAllBadTriangles) {
+  Mesh m = generate_input_mesh(1500, 15);
+  cpu::ParallelRunner runner;
+  const RefineStats st = refine_multicore(m, runner);
+  EXPECT_GT(st.rounds, 1u);
+  expect_refined(m, "multicore");
+  EXPECT_GT(st.modeled_cycles, 0.0);
+}
+
+TEST(RefineMulticore, AbortsAreRetriedNotLost) {
+  Mesh m = generate_input_mesh(1000, 16);
+  cpu::ParallelRunner runner({.workers = 48});
+  const RefineStats st = refine_multicore(m, runner);
+  EXPECT_GT(st.aborted, 0u) << "expected contention between cavities";
+  expect_refined(m, "multicore aborts");
+}
+
+struct GpuCase {
+  core::ConflictScheme scheme;
+  bool adaptive;
+  bool divergence_sort;
+  bool layout_opt;
+  bool recycle;
+  bool use_float;
+};
+
+class RefineGpuSweep : public ::testing::TestWithParam<GpuCase> {};
+
+TEST_P(RefineGpuSweep, EliminatesAllBadTriangles) {
+  const GpuCase& pc = GetParam();
+  Mesh m = generate_input_mesh(1200, 17);
+  gpu::Device dev;
+  RefineOptions opts;
+  opts.scheme = pc.scheme;
+  opts.adaptive = pc.adaptive;
+  opts.divergence_sort = pc.divergence_sort;
+  opts.layout_opt = pc.layout_opt;
+  opts.recycle = pc.recycle;
+  opts.use_float = pc.use_float;
+  const RefineStats st = refine_gpu(m, dev, opts);
+  EXPECT_GT(st.initial_bad, 0u);
+  expect_refined(m, "gpu");
+  EXPECT_GT(st.modeled_cycles, 0.0);
+  EXPECT_GT(dev.stats().launches, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, RefineGpuSweep,
+    ::testing::Values(
+        GpuCase{core::ConflictScheme::kThreePhase, true, true, true, true,
+                false},
+        GpuCase{core::ConflictScheme::kThreePhase, false, false, false, false,
+                false},
+        GpuCase{core::ConflictScheme::kThreePhase, true, false, true, true,
+                true},
+        GpuCase{core::ConflictScheme::kTwoPhaseRaceCheck, true, true, true,
+                true, false},
+        GpuCase{core::ConflictScheme::kTwoPhasePriority, true, true, true,
+                true, false},
+        GpuCase{core::ConflictScheme::kLocks, true, true, true, true, false}));
+
+TEST(RefineGpuDataDriven, EliminatesAllBadTriangles) {
+  Mesh m = generate_input_mesh(1200, 23);
+  gpu::Device dev;
+  const RefineStats st = refine_gpu_datadriven(m, dev);
+  EXPECT_GT(st.initial_bad, 0u);
+  expect_refined(m, "gpu data-driven");
+  EXPECT_TRUE(is_delaunay(m));
+  EXPECT_GT(dev.stats().atomics, 1000u)
+      << "the centralized worklist must pay atomics";
+}
+
+TEST(RefineGpuDataDriven, CostsMoreAtomicsThanTopologyDriven) {
+  Mesh m1 = generate_input_mesh(2000, 24);
+  Mesh m2 = m1;
+  gpu::Device d1, d2;
+  refine_gpu(m1, d1);
+  refine_gpu_datadriven(m2, d2);
+  EXPECT_GT(d2.stats().atomics, 10 * std::max<std::uint64_t>(
+                                         d1.stats().atomics, 1));
+}
+
+TEST(RefineGpu, PreallocAvoidsReallocs) {
+  Mesh m1 = generate_input_mesh(1000, 18);
+  Mesh m2 = m1;
+  gpu::Device d1, d2;
+  RefineOptions opts;
+  opts.prealloc = true;
+  refine_gpu(m1, d1, opts);
+  opts.prealloc = false;
+  refine_gpu(m2, d2, opts);
+  EXPECT_EQ(d1.stats().reallocs, 0u);
+  EXPECT_GT(d2.stats().reallocs, 0u);
+  EXPECT_GT(d1.stats().bytes_allocated, d2.stats().bytes_allocated);
+}
+
+TEST(RefineGpu, ThreePhaseAndSerialReachSameQuality) {
+  Mesh base = generate_input_mesh(1000, 19);
+  Mesh ms = base, mg = base;
+  refine_serial(ms);
+  gpu::Device dev;
+  refine_gpu(mg, dev);
+  // Different schedules produce different meshes, but both are fully
+  // refined triangulations of the same point envelope.
+  EXPECT_EQ(ms.compute_all_bad(30.0), 0u);
+  EXPECT_EQ(mg.compute_all_bad(30.0), 0u);
+  EXPECT_TRUE(is_delaunay(ms));
+  EXPECT_TRUE(is_delaunay(mg));
+}
+
+TEST(RefineGpu, AbortRatioReportedUnderContention) {
+  Mesh m = generate_input_mesh(2000, 20);
+  gpu::Device dev;
+  RefineOptions opts;
+  const RefineStats st = refine_gpu(m, dev, opts);
+  EXPECT_GT(st.aborted, 0u);
+  EXPECT_GT(st.abort_ratio(), 0.0);
+  EXPECT_LT(st.abort_ratio(), 1.0);
+}
+
+TEST(RefineGpu, StatsProcessedMatchesWorkDone) {
+  Mesh m = generate_input_mesh(600, 21);
+  gpu::Device dev;
+  const RefineStats st = refine_gpu(m, dev);
+  // Every processed cavity deletes at least one triangle and adds at least
+  // three; final count must reflect that net growth.
+  EXPECT_GT(st.final_triangles, st.initial_bad);
+  EXPECT_GE(st.processed, st.initial_bad / 2);
+}
+
+TEST(Mesh, CompactAndReorderPreservesGeometry) {
+  Mesh m = generate_input_mesh(800, 22);
+  refine_serial(m);  // create deleted slots
+  const std::size_t live = m.num_live();
+  Mesh copy = m;
+  const std::size_t slots = copy.compact_and_reorder();
+  EXPECT_EQ(slots, live);
+  EXPECT_EQ(copy.num_live(), live);
+  std::string why;
+  EXPECT_TRUE(copy.validate(&why)) << why;
+  EXPECT_TRUE(is_delaunay(copy));
+}
+
+}  // namespace
+}  // namespace morph::dmr

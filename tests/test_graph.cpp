@@ -1,0 +1,239 @@
+// Unit tests for the graph substrate: CSR, generators, layout, union-find,
+// DIMACS IO.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "support/rng.hpp"
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/layout.hpp"
+#include "graph/union_find.hpp"
+
+namespace morph::graph {
+namespace {
+
+TEST(Csr, DirectedBuildBasics) {
+  const Edge edges[] = {{0, 1, 5}, {0, 2, 7}, {2, 1, 3}};
+  auto g = CsrGraph::from_edges(3, edges);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_TRUE(g.validate());
+  const auto nb = g.neighbors(0);
+  EXPECT_EQ(std::set<Node>(nb.begin(), nb.end()), (std::set<Node>{1, 2}));
+}
+
+TEST(Csr, WeightsFollowEdges) {
+  const Edge edges[] = {{0, 1, 5}, {1, 0, 9}};
+  auto g = CsrGraph::from_edges(2, edges);
+  EXPECT_EQ(g.edge_weight(g.row_begin(0)), 5u);
+  EXPECT_EQ(g.edge_weight(g.row_begin(1)), 9u);
+}
+
+TEST(Csr, UndirectedStoresBothDirections) {
+  const Edge edges[] = {{0, 1, 4}, {1, 2, 6}};
+  auto g = CsrGraph::from_undirected_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.validate(/*require_symmetric=*/true));
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Csr, UndirectedRejectsSelfLoop) {
+  const Edge edges[] = {{1, 1, 2}};
+  EXPECT_THROW(CsrGraph::from_undirected_edges(2, edges), CheckError);
+}
+
+TEST(Csr, RejectsOutOfRangeEndpoint) {
+  const Edge edges[] = {{0, 5, 1}};
+  EXPECT_THROW(CsrGraph::from_edges(3, edges), CheckError);
+}
+
+TEST(Csr, AvgDegree) {
+  const Edge edges[] = {{0, 1, 1}, {1, 2, 1}};
+  auto g = CsrGraph::from_undirected_edges(4, edges);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 1.0);
+}
+
+TEST(Csr, PermutedPreservesStructure) {
+  const Edge edges[] = {{0, 1, 4}, {1, 2, 6}, {0, 2, 8}};
+  auto g = CsrGraph::from_undirected_edges(3, edges);
+  const Node perm[] = {2, 0, 1};
+  auto p = g.permuted(perm);
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+  EXPECT_TRUE(p.validate(true));
+  // Degree multiset is invariant.
+  std::multiset<std::uint32_t> d1, d2;
+  for (Node u = 0; u < 3; ++u) {
+    d1.insert(g.degree(u));
+    d2.insert(p.degree(u));
+  }
+  EXPECT_EQ(d1, d2);
+  // Edge (0,1,w=4) becomes (2,0,w=4).
+  bool found = false;
+  for (EdgeId e = p.row_begin(2); e < p.row_end(2); ++e) {
+    if (p.edge_dst(e) == 0 && p.edge_weight(e) == 4) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Generators, RandomUniformProducesExactCountNoDupes) {
+  auto edges = gen_random_uniform(100, 300, 50, 7);
+  EXPECT_EQ(edges.size(), 300u);
+  std::set<std::pair<Node, Node>> seen;
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_GE(e.weight, 1u);
+    EXPECT_LE(e.weight, 50u);
+    auto key = std::minmax(e.src, e.dst);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << "duplicate edge";
+  }
+}
+
+TEST(Generators, RandomUniformDeterministicInSeed) {
+  auto a = gen_random_uniform(50, 100, 10, 42);
+  auto b = gen_random_uniform(50, 100, 10, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].weight, b[i].weight);
+  }
+}
+
+TEST(Generators, RandomUniformRejectsOverfullGraph) {
+  EXPECT_THROW(gen_random_uniform(4, 100, 10, 1), CheckError);
+}
+
+TEST(Generators, RmatSkewsDegrees) {
+  auto edges = gen_rmat(10, 4096, 3);
+  EXPECT_GT(edges.size(), 3500u);  // dedup may drop a few
+  auto g = CsrGraph::from_undirected_edges(1024, edges);
+  std::uint32_t dmax = 0;
+  for (Node u = 0; u < g.num_nodes(); ++u) dmax = std::max(dmax, g.degree(u));
+  // RMAT hubs should far exceed the mean degree (8).
+  EXPECT_GT(dmax, 40u);
+}
+
+TEST(Generators, Grid2dHasLatticeEdgeCount) {
+  auto edges = gen_grid2d(10, 100, 1);
+  EXPECT_EQ(edges.size(), 2u * 10 * 9);
+  auto g = CsrGraph::from_undirected_edges(100, edges);
+  for (Node u = 0; u < 100; ++u) {
+    EXPECT_GE(g.degree(u), 2u);
+    EXPECT_LE(g.degree(u), 4u);
+  }
+}
+
+TEST(Generators, RoadLikeIsConnectedAndSparse) {
+  auto edges = gen_road_like(2000, 2.5, 11);
+  auto g = CsrGraph::from_undirected_edges(2000, edges);
+  EXPECT_NEAR(g.avg_degree(), 2.5, 0.8);
+  UnionFind uf(2000);
+  for (const Edge& e : edges) uf.unite(e.src, e.dst);
+  EXPECT_EQ(uf.num_sets(), 1u) << "backbone must connect the graph";
+}
+
+TEST(Generators, MaxNodePlusOne) {
+  std::vector<Edge> edges = {{3, 9, 1}, {1, 2, 1}};
+  EXPECT_EQ(max_node_plus_one(edges), 10u);
+}
+
+TEST(Layout, BfsOrderIsAPermutation) {
+  auto edges = gen_random_uniform(200, 500, 10, 3);
+  auto g = CsrGraph::from_undirected_edges(200, edges);
+  auto perm = bfs_order(g);
+  std::vector<bool> seen(200, false);
+  for (Node p : perm) {
+    ASSERT_LT(p, 200u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Layout, BfsReorderImprovesLocalityOfShuffledGrid) {
+  // Take a grid (good locality), shuffle node ids (bad locality), and
+  // check the BFS scan recovers most of it — the Sec. 6.1 optimization.
+  auto edges = gen_grid2d(30, 10, 5);
+  Rng rng(17);
+  std::vector<Node> shuffle(900);
+  std::iota(shuffle.begin(), shuffle.end(), 0u);
+  for (std::size_t i = shuffle.size(); i > 1; --i)
+    std::swap(shuffle[i - 1], shuffle[rng.next_below(i)]);
+  auto g = CsrGraph::from_undirected_edges(900, edges).permuted(shuffle);
+
+  const double before = layout_cost(g);
+  auto opt = g.permuted(bfs_order(g));
+  const double after = layout_cost(opt);
+  EXPECT_LT(after, before / 4.0);
+  EXPECT_TRUE(opt.validate(true));
+}
+
+TEST(Layout, CoversDisconnectedComponents) {
+  const Edge edges[] = {{0, 1, 1}, {2, 3, 1}};
+  auto g = CsrGraph::from_undirected_edges(5, edges);  // node 4 isolated
+  auto perm = bfs_order(g);
+  std::set<Node> ids(perm.begin(), perm.end());
+  EXPECT_EQ(ids.size(), 5u);
+}
+
+TEST(UnionFind, BasicUniteFind) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.num_sets(), 4u);
+  EXPECT_EQ(uf.set_size(1), 2u);
+}
+
+TEST(UnionFind, TransitiveMerges) {
+  UnionFind uf(8);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 3);
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_EQ(uf.set_size(0), 4u);
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.find(3), CheckError);
+}
+
+TEST(Io, DimacsRoundTrip) {
+  auto edges = gen_random_uniform(50, 120, 30, 9);
+  std::stringstream ss;
+  write_dimacs(ss, 50, edges);
+  Node n = 0;
+  auto back = read_dimacs(ss, n);
+  EXPECT_EQ(n, 50u);
+  ASSERT_EQ(back.size(), edges.size());
+  auto key = [](const Edge& e) {
+    return std::tuple(std::min(e.src, e.dst), std::max(e.src, e.dst),
+                      e.weight);
+  };
+  std::multiset<std::tuple<Node, Node, Weight>> a, b;
+  for (const Edge& e : edges) a.insert(key(e));
+  for (const Edge& e : back) b.insert(key(e));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Io, DimacsSkipsCommentsAndDupes) {
+  std::stringstream ss("c comment\np sp 4 3\na 1 2 5\nc mid\na 2 1 5\na 3 4 7\n");
+  Node n = 0;
+  auto edges = read_dimacs(ss, n);
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(edges.size(), 2u);  // the reverse arc collapses
+}
+
+}  // namespace
+}  // namespace morph::graph

@@ -1,0 +1,246 @@
+// Tests for points-to analysis: the constraint model, the paper's Fig. 5
+// example, fixed-point agreement across all drivers, and the memory/
+// propagation ablation knobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pta/constraints.hpp"
+#include "pta/solve.hpp"
+
+namespace morph::pta {
+namespace {
+
+// Variables for hand-built programs.
+enum : Var { A, B, C, P, X, Y, kVars };
+
+ConstraintSet fig5_program() {
+  // The paper's Figure 5: a = &x; b = &y; p = &a; *p = b; c = a;
+  ConstraintSet cs;
+  cs.num_vars = kVars;
+  cs.constraints = {
+      {ConstraintKind::kAddressOf, A, X},
+      {ConstraintKind::kAddressOf, B, Y},
+      {ConstraintKind::kAddressOf, P, A},
+      {ConstraintKind::kStore, P, B},
+      {ConstraintKind::kCopy, C, A},
+  };
+  return cs;
+}
+
+TEST(Serial, Fig5FixedPointMatchesPaper) {
+  const ConstraintSet cs = fig5_program();
+  PtaStats st;
+  const PtsSets pts = solve_serial(cs, &st);
+  EXPECT_EQ(pts[A], (std::vector<Var>{X, Y}));
+  EXPECT_EQ(pts[B], (std::vector<Var>{Y}));
+  EXPECT_EQ(pts[P], (std::vector<Var>{A}));
+  EXPECT_EQ(pts[C], (std::vector<Var>{X, Y}));
+  EXPECT_TRUE(pts[X].empty());
+  EXPECT_GT(st.iterations, 0u);
+}
+
+TEST(Serial, LoadConstraint) {
+  // p = &a; a = &x; b = *p  =>  pts(b) = {x}.
+  ConstraintSet cs;
+  cs.num_vars = kVars;
+  cs.constraints = {
+      {ConstraintKind::kAddressOf, P, A},
+      {ConstraintKind::kAddressOf, A, X},
+      {ConstraintKind::kLoad, B, P},
+  };
+  const PtsSets pts = solve_serial(cs);
+  EXPECT_EQ(pts[B], (std::vector<Var>{X}));
+}
+
+TEST(Serial, CopyChainPropagates) {
+  ConstraintSet cs;
+  cs.num_vars = 5;
+  cs.constraints = {
+      {ConstraintKind::kAddressOf, 0, 4},
+      {ConstraintKind::kCopy, 1, 0},
+      {ConstraintKind::kCopy, 2, 1},
+      {ConstraintKind::kCopy, 3, 2},
+  };
+  const PtsSets pts = solve_serial(cs);
+  for (Var v = 0; v < 4; ++v) EXPECT_EQ(pts[v], (std::vector<Var>{4}));
+}
+
+TEST(Serial, CyclicCopiesConverge) {
+  ConstraintSet cs;
+  cs.num_vars = 4;
+  cs.constraints = {
+      {ConstraintKind::kAddressOf, 0, 3},
+      {ConstraintKind::kCopy, 1, 0},
+      {ConstraintKind::kCopy, 2, 1},
+      {ConstraintKind::kCopy, 0, 2},  // cycle 0 -> 1 -> 2 -> 0
+  };
+  const PtsSets pts = solve_serial(cs);
+  EXPECT_EQ(pts[0], pts[1]);
+  EXPECT_EQ(pts[1], pts[2]);
+}
+
+TEST(Serial, SelfReferenceIsStable) {
+  ConstraintSet cs;
+  cs.num_vars = 2;
+  cs.constraints = {
+      {ConstraintKind::kAddressOf, 0, 0},  // p = &p
+      {ConstraintKind::kStore, 0, 0},      // *p = p
+      {ConstraintKind::kLoad, 1, 0},       // q = *p
+  };
+  const PtsSets pts = solve_serial(cs);
+  EXPECT_EQ(pts[0], (std::vector<Var>{0}));
+  EXPECT_EQ(pts[1], (std::vector<Var>{0}));
+}
+
+TEST(Generator, ProducesRequestedShape) {
+  const ConstraintSet cs = synthetic_program(500, 700, 3);
+  EXPECT_EQ(cs.num_vars, 500u);
+  EXPECT_EQ(cs.constraints.size(), 700u);
+  std::size_t counts[4] = {};
+  for (const Constraint& c : cs.constraints) {
+    EXPECT_LT(c.dst, 500u);
+    EXPECT_LT(c.src, 500u);
+    ++counts[static_cast<int>(c.kind)];
+  }
+  // Every kind must be represented with the rough documented mix.
+  EXPECT_NEAR(counts[0] / 700.0, 0.30, 0.08);
+  EXPECT_NEAR(counts[1] / 700.0, 0.40, 0.08);
+  EXPECT_GT(counts[2], 0u);
+  EXPECT_GT(counts[3], 0u);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const ConstraintSet a = synthetic_program(100, 200, 5);
+  const ConstraintSet b = synthetic_program(100, 200, 5);
+  ASSERT_EQ(a.constraints.size(), b.constraints.size());
+  for (std::size_t i = 0; i < a.constraints.size(); ++i) {
+    EXPECT_EQ(a.constraints[i].kind, b.constraints[i].kind);
+    EXPECT_EQ(a.constraints[i].dst, b.constraints[i].dst);
+    EXPECT_EQ(a.constraints[i].src, b.constraints[i].src);
+  }
+}
+
+TEST(Generator, Spec2000TableMatchesPaper) {
+  const auto& ws = spec2000_workloads();
+  ASSERT_EQ(ws.size(), 6u);
+  EXPECT_EQ(ws[0].name, "186.crafty");
+  EXPECT_EQ(ws[0].vars, 6126u);
+  EXPECT_EQ(ws[0].cons, 6768u);
+  EXPECT_EQ(ws[5].name, "179.art");
+  EXPECT_EQ(ws[5].vars, 586u);
+  for (const auto& w : ws) {
+    const ConstraintSet cs = spec_like(w);
+    EXPECT_EQ(cs.num_vars, w.vars);
+    EXPECT_EQ(cs.constraints.size(), w.cons);
+  }
+}
+
+TEST(EqualPts, DetectsDifferences) {
+  PtsSets a(2), b(2);
+  a[0] = {1};
+  b[0] = {1};
+  EXPECT_TRUE(equal_pts(a, b));
+  b[1] = {0};
+  EXPECT_FALSE(equal_pts(a, b));
+}
+
+class SolverAgreement
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(SolverAgreement, AllDriversReachTheSameFixedPoint) {
+  const auto [vars, cons, seed] = GetParam();
+  const ConstraintSet cs = synthetic_program(vars, cons, seed);
+  const PtsSets ser = solve_serial(cs);
+
+  gpu::Device d_pull, d_push;
+  PtaOptions pull;
+  const PtsSets gp = solve_gpu(cs, d_pull, pull);
+  EXPECT_TRUE(equal_pts(ser, gp)) << "pull-based GPU deviates";
+
+  PtaOptions push;
+  push.push_based = true;
+  const PtsSets pp = solve_gpu(cs, d_push, push);
+  EXPECT_TRUE(equal_pts(ser, pp)) << "push-based GPU deviates";
+
+  cpu::ParallelRunner runner;
+  const PtsSets mc = solve_multicore(cs, runner);
+  EXPECT_TRUE(equal_pts(ser, mc)) << "multicore deviates";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SolverAgreement,
+    ::testing::Values(std::tuple{50u, 80u, 1ull}, std::tuple{200u, 300u, 2ull},
+                      std::tuple{500u, 600u, 3ull},
+                      std::tuple{1000u, 1200u, 4ull}));
+
+class ChunkSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChunkSweep, ChunkSizeDoesNotAffectTheFixedPoint) {
+  const ConstraintSet cs = synthetic_program(400, 500, 9);
+  const PtsSets ser = solve_serial(cs);
+  gpu::Device dev;
+  PtaOptions opts;
+  opts.chunk_elems = GetParam();
+  const PtsSets gp = solve_gpu(cs, dev, opts);
+  EXPECT_TRUE(equal_pts(ser, gp));
+  EXPECT_GT(dev.stats().device_mallocs, 0u) << "Kernel-Only strategy unused";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, ChunkSweep,
+                         ::testing::Values(16u, 64u, 512u, 1024u, 4096u));
+
+TEST(Gpu, SmallerChunksMeanMoreMallocs) {
+  const ConstraintSet cs = synthetic_program(600, 800, 10);
+  gpu::Device d_small, d_large;
+  PtaOptions small, large;
+  small.chunk_elems = 16;
+  large.chunk_elems = 4096;
+  PtaStats st_small, st_large;
+  solve_gpu(cs, d_small, small, &st_small);
+  solve_gpu(cs, d_large, large, &st_large);
+  EXPECT_GT(st_small.device_mallocs, st_large.device_mallocs);
+}
+
+TEST(Gpu, PullAvoidsAtomicsPushPaysThem) {
+  const ConstraintSet cs = synthetic_program(600, 800, 11);
+  gpu::Device d_pull, d_push;
+  PtaOptions pull, push;
+  push.push_based = true;
+  solve_gpu(cs, d_pull, pull);
+  solve_gpu(cs, d_push, push);
+  EXPECT_GT(d_push.stats().atomics, 4 * d_pull.stats().atomics)
+      << "push must pay synchronization the pull model avoids (Sec. 6.4)";
+}
+
+TEST(Gpu, DivergenceSortKnobKeepsSolution) {
+  const ConstraintSet cs = synthetic_program(300, 400, 12);
+  const PtsSets ser = solve_serial(cs);
+  gpu::Device dev;
+  PtaOptions opts;
+  opts.divergence_sort = false;
+  EXPECT_TRUE(equal_pts(ser, solve_gpu(cs, dev, opts)));
+}
+
+TEST(Gpu, EdgeCountGrowsMonotonically) {
+  const ConstraintSet cs = synthetic_program(400, 600, 13);
+  gpu::Device dev;
+  PtaStats st;
+  solve_gpu(cs, dev, {}, &st);
+  EXPECT_GT(st.edges_added, 0u);
+  EXPECT_GT(st.iterations, 1u);
+  EXPECT_GT(st.pts_total, 0u);
+}
+
+TEST(Stats, SerialReportsWork) {
+  const ConstraintSet cs = synthetic_program(200, 300, 14);
+  PtaStats st;
+  solve_serial(cs, &st);
+  EXPECT_GT(st.counted_work, 0u);
+  EXPECT_GT(st.pts_total, 0u);
+  EXPECT_GT(st.wall_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace morph::pta
