@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_conflict.dir/ablate_conflict.cpp.o"
+  "CMakeFiles/ablate_conflict.dir/ablate_conflict.cpp.o.d"
+  "ablate_conflict"
+  "ablate_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_memory.dir/ablate_memory.cpp.o"
+  "CMakeFiles/ablate_memory.dir/ablate_memory.cpp.o.d"
+  "ablate_memory"
+  "ablate_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

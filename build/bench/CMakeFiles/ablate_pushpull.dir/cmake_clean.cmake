@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pushpull.dir/ablate_pushpull.cpp.o"
+  "CMakeFiles/ablate_pushpull.dir/ablate_pushpull.cpp.o.d"
+  "ablate_pushpull"
+  "ablate_pushpull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pushpull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

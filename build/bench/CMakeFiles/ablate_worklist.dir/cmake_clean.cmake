@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_worklist.dir/ablate_worklist.cpp.o"
+  "CMakeFiles/ablate_worklist.dir/ablate_worklist.cpp.o.d"
+  "ablate_worklist"
+  "ablate_worklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_worklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

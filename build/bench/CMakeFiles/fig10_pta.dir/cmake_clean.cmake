@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pta.dir/fig10_pta.cpp.o"
+  "CMakeFiles/fig10_pta.dir/fig10_pta.cpp.o.d"
+  "fig10_pta"
+  "fig10_pta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mst.dir/fig11_mst.cpp.o"
+  "CMakeFiles/fig11_mst.dir/fig11_mst.cpp.o.d"
+  "fig11_mst"
+  "fig11_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_parallelism.dir/fig2_parallelism.cpp.o"
+  "CMakeFiles/fig2_parallelism.dir/fig2_parallelism.cpp.o.d"
+  "fig2_parallelism"
+  "fig2_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dmr_runtime.dir/fig6_dmr_runtime.cpp.o"
+  "CMakeFiles/fig6_dmr_runtime.dir/fig6_dmr_runtime.cpp.o.d"
+  "fig6_dmr_runtime"
+  "fig6_dmr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dmr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

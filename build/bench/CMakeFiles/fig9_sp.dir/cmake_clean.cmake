@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sp.dir/fig9_sp.cpp.o"
+  "CMakeFiles/fig9_sp.dir/fig9_sp.cpp.o.d"
+  "fig9_sp"
+  "fig9_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

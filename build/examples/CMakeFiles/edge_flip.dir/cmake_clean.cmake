@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_flip.dir/edge_flip.cpp.o"
+  "CMakeFiles/edge_flip.dir/edge_flip.cpp.o.d"
+  "edge_flip"
+  "edge_flip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_flip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

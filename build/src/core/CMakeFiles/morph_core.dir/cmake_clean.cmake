@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_core.dir/conflict.cpp.o"
+  "CMakeFiles/morph_core.dir/conflict.cpp.o.d"
+  "libmorph_core.a"
+  "libmorph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

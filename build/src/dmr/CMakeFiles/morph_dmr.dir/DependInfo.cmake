@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dmr/cavity.cpp" "src/dmr/CMakeFiles/morph_dmr.dir/cavity.cpp.o" "gcc" "src/dmr/CMakeFiles/morph_dmr.dir/cavity.cpp.o.d"
+  "/root/repo/src/dmr/delaunay.cpp" "src/dmr/CMakeFiles/morph_dmr.dir/delaunay.cpp.o" "gcc" "src/dmr/CMakeFiles/morph_dmr.dir/delaunay.cpp.o.d"
+  "/root/repo/src/dmr/flip.cpp" "src/dmr/CMakeFiles/morph_dmr.dir/flip.cpp.o" "gcc" "src/dmr/CMakeFiles/morph_dmr.dir/flip.cpp.o.d"
+  "/root/repo/src/dmr/mesh.cpp" "src/dmr/CMakeFiles/morph_dmr.dir/mesh.cpp.o" "gcc" "src/dmr/CMakeFiles/morph_dmr.dir/mesh.cpp.o.d"
+  "/root/repo/src/dmr/mesh_io.cpp" "src/dmr/CMakeFiles/morph_dmr.dir/mesh_io.cpp.o" "gcc" "src/dmr/CMakeFiles/morph_dmr.dir/mesh_io.cpp.o.d"
+  "/root/repo/src/dmr/quality.cpp" "src/dmr/CMakeFiles/morph_dmr.dir/quality.cpp.o" "gcc" "src/dmr/CMakeFiles/morph_dmr.dir/quality.cpp.o.d"
+  "/root/repo/src/dmr/refine.cpp" "src/dmr/CMakeFiles/morph_dmr.dir/refine.cpp.o" "gcc" "src/dmr/CMakeFiles/morph_dmr.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/morph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/morph_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/morph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_dmr.dir/cavity.cpp.o"
+  "CMakeFiles/morph_dmr.dir/cavity.cpp.o.d"
+  "CMakeFiles/morph_dmr.dir/delaunay.cpp.o"
+  "CMakeFiles/morph_dmr.dir/delaunay.cpp.o.d"
+  "CMakeFiles/morph_dmr.dir/flip.cpp.o"
+  "CMakeFiles/morph_dmr.dir/flip.cpp.o.d"
+  "CMakeFiles/morph_dmr.dir/mesh.cpp.o"
+  "CMakeFiles/morph_dmr.dir/mesh.cpp.o.d"
+  "CMakeFiles/morph_dmr.dir/mesh_io.cpp.o"
+  "CMakeFiles/morph_dmr.dir/mesh_io.cpp.o.d"
+  "CMakeFiles/morph_dmr.dir/quality.cpp.o"
+  "CMakeFiles/morph_dmr.dir/quality.cpp.o.d"
+  "CMakeFiles/morph_dmr.dir/refine.cpp.o"
+  "CMakeFiles/morph_dmr.dir/refine.cpp.o.d"
+  "libmorph_dmr.a"
+  "libmorph_dmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_dmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_gpu.dir/device.cpp.o"
+  "CMakeFiles/morph_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/morph_gpu.dir/thread_pool.cpp.o"
+  "CMakeFiles/morph_gpu.dir/thread_pool.cpp.o.d"
+  "libmorph_gpu.a"
+  "libmorph_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

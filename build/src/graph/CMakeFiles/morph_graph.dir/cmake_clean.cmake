@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_graph.dir/csr.cpp.o"
+  "CMakeFiles/morph_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/morph_graph.dir/generators.cpp.o"
+  "CMakeFiles/morph_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/morph_graph.dir/io.cpp.o"
+  "CMakeFiles/morph_graph.dir/io.cpp.o.d"
+  "CMakeFiles/morph_graph.dir/layout.cpp.o"
+  "CMakeFiles/morph_graph.dir/layout.cpp.o.d"
+  "CMakeFiles/morph_graph.dir/scc.cpp.o"
+  "CMakeFiles/morph_graph.dir/scc.cpp.o.d"
+  "libmorph_graph.a"
+  "libmorph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mst/cpu_boruvka.cpp" "src/mst/CMakeFiles/morph_mst.dir/cpu_boruvka.cpp.o" "gcc" "src/mst/CMakeFiles/morph_mst.dir/cpu_boruvka.cpp.o.d"
+  "/root/repo/src/mst/gpu_boruvka.cpp" "src/mst/CMakeFiles/morph_mst.dir/gpu_boruvka.cpp.o" "gcc" "src/mst/CMakeFiles/morph_mst.dir/gpu_boruvka.cpp.o.d"
+  "/root/repo/src/mst/kruskal.cpp" "src/mst/CMakeFiles/morph_mst.dir/kruskal.cpp.o" "gcc" "src/mst/CMakeFiles/morph_mst.dir/kruskal.cpp.o.d"
+  "/root/repo/src/mst/verify.cpp" "src/mst/CMakeFiles/morph_mst.dir/verify.cpp.o" "gcc" "src/mst/CMakeFiles/morph_mst.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/morph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/morph_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/morph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

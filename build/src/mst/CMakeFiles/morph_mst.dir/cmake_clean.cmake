@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_mst.dir/cpu_boruvka.cpp.o"
+  "CMakeFiles/morph_mst.dir/cpu_boruvka.cpp.o.d"
+  "CMakeFiles/morph_mst.dir/gpu_boruvka.cpp.o"
+  "CMakeFiles/morph_mst.dir/gpu_boruvka.cpp.o.d"
+  "CMakeFiles/morph_mst.dir/kruskal.cpp.o"
+  "CMakeFiles/morph_mst.dir/kruskal.cpp.o.d"
+  "CMakeFiles/morph_mst.dir/verify.cpp.o"
+  "CMakeFiles/morph_mst.dir/verify.cpp.o.d"
+  "libmorph_mst.a"
+  "libmorph_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pta/constraints.cpp" "src/pta/CMakeFiles/morph_pta.dir/constraints.cpp.o" "gcc" "src/pta/CMakeFiles/morph_pta.dir/constraints.cpp.o.d"
+  "/root/repo/src/pta/cycle_elim.cpp" "src/pta/CMakeFiles/morph_pta.dir/cycle_elim.cpp.o" "gcc" "src/pta/CMakeFiles/morph_pta.dir/cycle_elim.cpp.o.d"
+  "/root/repo/src/pta/gpu.cpp" "src/pta/CMakeFiles/morph_pta.dir/gpu.cpp.o" "gcc" "src/pta/CMakeFiles/morph_pta.dir/gpu.cpp.o.d"
+  "/root/repo/src/pta/serial.cpp" "src/pta/CMakeFiles/morph_pta.dir/serial.cpp.o" "gcc" "src/pta/CMakeFiles/morph_pta.dir/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/morph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/morph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/morph_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/morph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

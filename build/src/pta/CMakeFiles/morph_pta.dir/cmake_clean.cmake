@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_pta.dir/constraints.cpp.o"
+  "CMakeFiles/morph_pta.dir/constraints.cpp.o.d"
+  "CMakeFiles/morph_pta.dir/cycle_elim.cpp.o"
+  "CMakeFiles/morph_pta.dir/cycle_elim.cpp.o.d"
+  "CMakeFiles/morph_pta.dir/gpu.cpp.o"
+  "CMakeFiles/morph_pta.dir/gpu.cpp.o.d"
+  "CMakeFiles/morph_pta.dir/serial.cpp.o"
+  "CMakeFiles/morph_pta.dir/serial.cpp.o.d"
+  "libmorph_pta.a"
+  "libmorph_pta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_pta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sp/cnf.cpp" "src/sp/CMakeFiles/morph_sp.dir/cnf.cpp.o" "gcc" "src/sp/CMakeFiles/morph_sp.dir/cnf.cpp.o.d"
+  "/root/repo/src/sp/factor_graph.cpp" "src/sp/CMakeFiles/morph_sp.dir/factor_graph.cpp.o" "gcc" "src/sp/CMakeFiles/morph_sp.dir/factor_graph.cpp.o.d"
+  "/root/repo/src/sp/survey.cpp" "src/sp/CMakeFiles/morph_sp.dir/survey.cpp.o" "gcc" "src/sp/CMakeFiles/morph_sp.dir/survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/morph_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/morph_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

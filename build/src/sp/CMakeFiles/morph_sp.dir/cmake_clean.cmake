@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_sp.dir/cnf.cpp.o"
+  "CMakeFiles/morph_sp.dir/cnf.cpp.o.d"
+  "CMakeFiles/morph_sp.dir/factor_graph.cpp.o"
+  "CMakeFiles/morph_sp.dir/factor_graph.cpp.o.d"
+  "CMakeFiles/morph_sp.dir/survey.cpp.o"
+  "CMakeFiles/morph_sp.dir/survey.cpp.o.d"
+  "libmorph_sp.a"
+  "libmorph_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_support.dir/cli.cpp.o"
+  "CMakeFiles/morph_support.dir/cli.cpp.o.d"
+  "CMakeFiles/morph_support.dir/stats.cpp.o"
+  "CMakeFiles/morph_support.dir/stats.cpp.o.d"
+  "CMakeFiles/morph_support.dir/table.cpp.o"
+  "CMakeFiles/morph_support.dir/table.cpp.o.d"
+  "libmorph_support.a"
+  "libmorph_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

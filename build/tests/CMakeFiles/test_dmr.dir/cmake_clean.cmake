@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmr.dir/test_dmr.cpp.o"
+  "CMakeFiles/test_dmr.dir/test_dmr.cpp.o.d"
+  "test_dmr"
+  "test_dmr.pdb"
+  "test_dmr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
