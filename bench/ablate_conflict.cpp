@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     };
     for (const S& s : schemes) {
       dmr::Mesh m = base;
-      gpu::Device dev;
+      gpu::Device dev(bench::device_config(args));
       dmr::RefineOptions opts;
       opts.scheme = s.scheme;
       const dmr::RefineStats st = dmr::refine_gpu(m, dev, opts);
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     };
     for (const B& b : kinds) {
       dmr::Mesh m = base;
-      gpu::Device dev;
+      gpu::Device dev(bench::device_config(args));
       dmr::RefineOptions opts;
       opts.barrier = b.kind;
       dmr::refine_gpu(m, dev, opts);

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     Table t({"chunk elems", "device mallocs", "bytes allocated x1e6",
              "model-ms", "edges added"});
     for (std::uint32_t chunk : {128u, 512u, 1024u, 2048u, 4096u}) {
-      gpu::Device dev;
+      gpu::Device dev(bench::device_config(args));
       pta::PtaOptions opts;
       opts.chunk_elems = chunk;
       pta::PtaStats st;
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     };
     for (const V& v : variants) {
       dmr::Mesh m = base;
-      gpu::Device dev;
+      gpu::Device dev(bench::device_config(args));
       dmr::RefineOptions opts;
       opts.recycle = v.recycle;
       opts.prealloc = v.prealloc;

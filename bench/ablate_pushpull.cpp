@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     const pta::ConstraintSet cs = pta::spec_like(w);
     const pta::PtsSets ser = pta::solve_serial(cs);
     for (bool push : {false, true}) {
-      gpu::Device dev;
+      gpu::Device dev(bench::device_config(args));
       pta::PtaOptions opts;
       opts.push_based = push;
       pta::PtaStats st;

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
            "atomics x1e3", "bad after"});
   {
     dmr::Mesh m = base;
-    gpu::Device dev;
+    gpu::Device dev(bench::device_config(args));
     const dmr::RefineStats st = dmr::refine_gpu(m, dev);
     t.add_row({"topology-driven (local chunks)",
                bench::fmt_ms(bench::model_ms(st.modeled_cycles)),
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   }
   {
     dmr::Mesh m = base;
-    gpu::Device dev;
+    gpu::Device dev(bench::device_config(args));
     const dmr::RefineStats st = dmr::refine_gpu_datadriven(m, dev);
     t.add_row({"data-driven (central worklist)",
                bench::fmt_ms(bench::model_ms(st.modeled_cycles)),

@@ -12,10 +12,20 @@
 #include <iostream>
 #include <string>
 
+#include "gpu/config.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 namespace morph::bench {
+
+/// Device configuration shared by the bench harnesses: block-parallel host
+/// execution by default (--host-workers, 0 = one worker per hardware
+/// thread). Modeled statistics do not depend on the value.
+inline gpu::DeviceConfig device_config(const CliArgs& args) {
+  gpu::DeviceConfig cfg;
+  cfg.host_workers = host_workers_arg(args);
+  return cfg;
+}
 
 /// Modeled cycles -> milliseconds at a nominal 1 GHz device clock.
 inline double model_ms(double cycles) { return cycles * 1e-6; }

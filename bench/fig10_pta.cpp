@@ -10,8 +10,9 @@
 #include "pta/solve.hpp"
 #include "support/stats.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace morph;
+  CliArgs args(argc, argv);
   bench::header("Fig. 10 — Points-to Analysis on SPEC 2000 sizes",
                 "GPU beats Galois-48 on every row; paper geomean 9.3x");
 
@@ -27,7 +28,7 @@ int main(int, char**) {
     const pta::PtsSets ser = pta::solve_serial(cs, &st_ser);
     cpu::ParallelRunner runner({.workers = 48});
     const pta::PtsSets mc = pta::solve_multicore(cs, runner, &st_mc);
-    gpu::Device dev;
+    gpu::Device dev(bench::device_config(args));
     const pta::PtsSets gp = pta::solve_gpu(cs, dev, {}, &st_gpu);
 
     const bool agree = pta::equal_pts(ser, gp) && pta::equal_pts(ser, mc);

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     auto g = CsrGraph::from_undirected_edges(s.n, s.edges);
 
     const mst::MstResult kr = mst::mst_kruskal(g);
-    gpu::Device dev;
+    gpu::Device dev(bench::device_config(args));
     const mst::MstResult gp = mst::mst_gpu(g, dev);
     cpu::ParallelRunner r1({.workers = 48}), r2({.workers = 48});
     const mst::MstResult em = mst::mst_edge_merge(g, r1);

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     }
 
     dmr::Mesh mg = base;
-    gpu::Device dev;
+    gpu::Device dev(bench::device_config(args));
     const dmr::RefineStats gs = dmr::refine_gpu(mg, dev);
     row.push_back(bench::fmt_ms(bench::model_ms(gs.modeled_cycles)));
     row.push_back(Table::num(gs.wall_seconds, 2));

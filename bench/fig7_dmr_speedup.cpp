@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     const double galois = g48.stats().modeled_cycles;
 
     dmr::Mesh mg = base;
-    gpu::Device dev;
+    gpu::Device dev(bench::device_config(args));
     dmr::refine_gpu(mg, dev);
     const double gpu = dev.stats().modeled_cycles;
 

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
            "device MB allocated"});
   for (const Row& r : rows) {
     dmr::Mesh m = base;
-    gpu::Device dev;
+    gpu::Device dev(bench::device_config(args));
     const dmr::RefineStats st = dmr::refine_gpu(m, dev, r.opts);
     MORPH_CHECK(m.compute_all_bad(30.0) == 0);
     t.add_row({r.label, bench::fmt_ms(bench::model_ms(st.modeled_cycles)),

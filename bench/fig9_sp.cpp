@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     const auto m = static_cast<std::uint32_t>(ratio * n);
     auto f = sp::random_ksat(n, m, r.k, 17);
 
-    gpu::Device dev;
+    gpu::Device dev(bench::device_config(args));
     const sp::SpResult rg = sp::solve_gpu(f, dev, base);
 
     // Multicore slice: one sweep, scaled to the GPU run's sweep count.

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   }
   {
     dmr::Mesh m = base;
-    gpu::Device dev;
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
     const dmr::FlipStats st = dmr::flip_gpu(m, dev);
     std::cout << "GPU:    " << st.flips << " flips in " << st.rounds
               << " rounds (" << st.aborted << " aborted), "

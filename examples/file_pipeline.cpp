@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     std::ifstream node(dir / "pipeline.node"), ele(dir / "pipeline.ele");
     dmr::Mesh back = dmr::read_triangle_format(node, ele);
     const double before = dmr::measure_quality(back).min_angle_deg;
-    gpu::Device dev;
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
     dmr::refine_gpu(back, dev);
     std::cout << "mesh:  " << m.num_live() << " triangles round-tripped; "
               << "min angle " << before << " -> "
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     graph::Node n = 0;
     auto back = graph::read_dimacs(gr, n);
     auto g = graph::CsrGraph::from_undirected_edges(n, back);
-    gpu::Device dev;
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
     const mst::MstResult r = mst::mst_gpu(g, dev);
     std::cout << "graph: " << n << " nodes round-tripped; MST weight "
               << r.total_weight << ", "

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   }
   {
     dmr::Mesh m = base;
-    gpu::Device dev;
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
     const dmr::RefineStats st = dmr::refine_gpu(m, dev, opts);
     t.add_row({"GPU (3-phase, adaptive)", std::to_string(m.num_live()),
                std::to_string(st.processed), std::to_string(st.aborted),

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   for (const Family& fam : families) {
     auto g = graph::CsrGraph::from_undirected_edges(fam.nodes, fam.edges);
     const mst::MstResult kr = mst::mst_kruskal(g);
-    gpu::Device dev;
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
     const mst::MstResult gp = mst::mst_gpu(g, dev);
     cpu::ParallelRunner r1({.workers = 48}), r2({.workers = 48});
     const mst::MstResult em = mst::mst_edge_merge(g, r1);

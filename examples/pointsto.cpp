@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       {pta::ConstraintKind::kStore, P, B},
       {pta::ConstraintKind::kCopy, C, A},
   };
-  gpu::Device device;
+  gpu::Device device(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
   const pta::PtsSets pts = pta::solve_gpu(fig5, device);
   const char* names = "abcpxy";
   std::cout << "paper Fig. 5 fixed point:\n";
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   const pta::ConstraintSet big = pta::synthetic_program(vars, cons, 17);
 
   pta::PtaStats st;
-  gpu::Device dev2;
+  gpu::Device dev2(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
   const pta::PtsSets gpu_pts = pta::solve_gpu(big, dev2, {}, &st);
   const pta::PtsSets ref = pta::solve_serial(big);
 

@@ -14,8 +14,10 @@
 int main() {
   using namespace morph;
 
-  // 1. A simulated Fermi-class device (14 SMs, 32-wide warps).
-  gpu::Device device;
+  // 1. A simulated Fermi-class device (14 SMs, 32-wide warps). Simulated
+  //    blocks execute on one host worker per hardware thread (0 = auto);
+  //    modeled statistics are identical for any worker count.
+  gpu::Device device(gpu::DeviceConfig{.host_workers = 0});
 
   // 2. A random input mesh: ~20k triangles, roughly half of them "bad"
   //    (some angle below 30 degrees), like the paper's DMR inputs.

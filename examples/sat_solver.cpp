@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       sp::random_ksat(n, m, k, static_cast<std::uint64_t>(
                                    args.get_int("seed", 11)));
 
-  gpu::Device device;
+  gpu::Device device(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
   sp::SpOptions opts;
   opts.seed = 99;
   const sp::SpResult r = sp::solve_gpu(f, device, opts);

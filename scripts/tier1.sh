@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the regular build + full test suite, then a
+# ThreadSanitizer build of the concurrency-sensitive suites (the gpu/core/dmr
+# labels cover the worklists, the block-parallel Device, the conflict
+# protocol, and the refinement drivers that exercise them under
+# host_workers > 1).
+#
+# Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+TSAN_BUILD="${2:-build-tsan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier 1: regular build + full ctest =="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread - -o /dev/null 2>/dev/null; then
+  echo "== tier 1: TSan build + ctest -L 'gpu|core|dmr' =="
+  cmake -B "$TSAN_BUILD" -S . -DMORPH_TSAN=ON
+  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" -L 'gpu|core|dmr'
+else
+  echo "== tier 1: libtsan not available; skipping TSan pass =="
+fi
+
+echo "tier 1 OK"

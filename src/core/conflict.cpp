@@ -22,9 +22,24 @@ void MarkTable::race_mark(gpu::ThreadCtx& ctx, std::uint32_t tid,
                           std::span<const std::uint32_t> elements) {
   for (std::uint32_t e : elements) {
     ctx.global_access();
-    marks_[e].store(tid, std::memory_order_relaxed);
+    mark_max(e, tid);
   }
   ctx.work(elements.size());
+}
+
+void MarkTable::mark_max(std::uint32_t element, std::uint32_t tid) {
+  // Highest-id-wins resolution of the race phase's write contention. The
+  // serial simulator's last-writer-wins already picks the highest tid
+  // (threads execute in ascending order), so this is behavior-preserving
+  // there, and under block-parallel host execution the same winner emerges
+  // for every interleaving — the prerequisite for deterministic modeled
+  // cycles with host_workers > 1. kNoOwner (all-ones) means "unclaimed",
+  // not "maximal", so it is always replaced.
+  std::uint32_t cur = marks_[element].load(std::memory_order_relaxed);
+  while ((cur == kNoOwner || cur < tid) &&
+         !marks_[element].compare_exchange_weak(cur, tid,
+                                                std::memory_order_relaxed)) {
+  }
 }
 
 bool MarkTable::priority_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
@@ -38,9 +53,12 @@ bool MarkTable::priority_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
       owns = false;  // higher-id thread has priority; back off
       break;
     }
-    // tid > tm (or the mark was cleared): take priority.
+    // tid > tm (or the mark was cleared): take priority. After a max-wins
+    // race phase this branch is unreachable (every mark a thread wrote is
+    // at least its own id); the max-claim keeps it safe for callers that
+    // enter the priority phase without racing first.
     ctx.global_access();
-    marks_[e].store(tid, std::memory_order_relaxed);
+    mark_max(e, tid);
   }
   ctx.work(elements.size());
   return owns;

@@ -4,7 +4,8 @@
 // claim their elements through a shared mark table:
 //
 //   phase 1 (race):          every thread writes its id on every element of
-//                            its neighborhood; last writer wins.
+//                            its neighborhood; contention resolves
+//                            highest-id-wins (deterministic; see race_mark).
 //   phase 2 (prioritycheck): a thread inspects each mark; equal -> keep,
 //                            higher id present -> back off, lower id present
 //                            -> overwrite with own id.
@@ -50,7 +51,10 @@ class MarkTable {
     return marks_[element].load(std::memory_order_relaxed);
   }
 
-  /// Phase 1: mark every element of the neighborhood with `tid`.
+  /// Phase 1: mark every element of the neighborhood with `tid`. Contention
+  /// resolves highest-id-wins (a CAS-max), which matches the serial
+  /// execution order's last-writer-wins and is deterministic under any
+  /// host-thread interleaving.
   void race_mark(gpu::ThreadCtx& ctx, std::uint32_t tid,
                  std::span<const std::uint32_t> elements);
 
@@ -84,6 +88,9 @@ class MarkTable {
                std::span<const std::uint32_t> elements);
 
  private:
+  /// CAS-max claim of one element (kNoOwner counts as unclaimed).
+  void mark_max(std::uint32_t element, std::uint32_t tid);
+
   // Atomics: on the real GPU the race phase is a benign word-sized data
   // race; under host threads we need defined behaviour.
   std::vector<std::atomic<std::uint32_t>> marks_;

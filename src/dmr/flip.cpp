@@ -1,8 +1,5 @@
 #include "dmr/flip.hpp"
 
-#include <atomic>
-#include <mutex>
-
 #include "core/conflict.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
@@ -139,7 +136,6 @@ FlipStats flip_gpu(Mesh& m, gpu::Device& dev, gpu::BarrierKind barrier) {
       256};
   const std::uint64_t T = lc.total_threads();
   const std::uint64_t chunk = (nslots + T - 1) / T;
-  std::mutex apply_mu;
 
   bool changed = true;
   while (changed) {
@@ -150,11 +146,12 @@ FlipStats flip_gpu(Mesh& m, gpu::Device& dev, gpu::BarrierKind barrier) {
     std::vector<int> target_edge(T, -1);
     std::vector<std::vector<Tri>> hood(T);
     std::vector<std::uint8_t> owns(T, 0);
-    std::atomic<std::uint64_t> flips{0}, aborted{0};
+    // Touched only in the sequential commit phase: plain counters.
+    std::uint64_t flips = 0, aborted = 0;
 
-    const gpu::KernelFn phases[3] = {
+    const gpu::Phase phases[3] = {
         // race: find a flippable edge in my chunk, mark its neighborhood.
-        [&](gpu::ThreadCtx& ctx) {
+        {[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t tid = ctx.tid();
           const std::uint64_t lo = static_cast<std::uint64_t>(tid) * chunk;
           const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, nslots);
@@ -174,36 +171,38 @@ FlipStats flip_gpu(Mesh& m, gpu::Device& dev, gpu::BarrierKind barrier) {
               return;
             }
           }
-        },
+        }, /*sequential=*/false},
         // prioritycheck
-        [&](gpu::ThreadCtx& ctx) {
+        {[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t tid = ctx.tid();
           if (target[tid] == Mesh::kNone) return;
           owns[tid] = marks.priority_check(ctx, tid, hood[tid]) ? 1 : 0;
-        },
-        // check + apply
-        [&](gpu::ThreadCtx& ctx) {
+        }, /*sequential=*/false},
+        // check + apply. Sequential commit: the host-serialized mesh
+        // rewiring runs in ascending thread order, so the surviving flips
+        // (and hence the modeled cost of every later round) are identical
+        // for any host_workers value.
+        {[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t tid = ctx.tid();
           if (target[tid] == Mesh::kNone) return;
           if (owns[tid] && marks.final_check(ctx, tid, hood[tid])) {
-            std::scoped_lock lock(apply_mu);
             if (flip_edge(m, target[tid], target_edge[tid])) {
               ctx.work(8);
-              flips.fetch_add(1, std::memory_order_relaxed);
+              ++flips;
             }
           } else {
-            aborted.fetch_add(1, std::memory_order_relaxed);
+            ++aborted;
           }
-        },
+        }, /*sequential=*/true},
     };
-    dev.launch_phases(lc, phases, barrier);
-    st.flips += flips.load();
-    st.aborted += aborted.load();
-    changed = flips.load() > 0;
+    dev.launch_phases(lc, std::span<const gpu::Phase>(phases), barrier);
+    st.flips += flips;
+    st.aborted += aborted;
+    changed = flips > 0;
 
     // Live-lock fallback, as in DMR: if every candidate aborted, flip one
     // edge serially.
-    if (!changed && aborted.load() > 0) {
+    if (!changed && aborted > 0) {
       dev.launch({1, 1}, [&](gpu::ThreadCtx& ctx) {
         for (Tri t = 0; t < m.num_slots(); ++t) {
           ctx.work(1);

@@ -198,7 +198,6 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
   core::SlotRecycler recycler(opts.recycle ? 1u << 22 : 0u);
   core::MarkTable marks(m.num_slots());
   core::AdaptiveLauncher launcher(opts.initial_tpb, 3, sm_factor);
-  std::mutex apply_mu;
 
   while (bad_count > 0 && st.rounds < opts.max_rounds) {
     ++st.rounds;
@@ -223,7 +222,8 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
     std::vector<Cavity> cav(T);
     std::vector<std::vector<Tri>> hood(T);
     std::vector<std::uint8_t> active(T, 0), owns(T, 0);
-    std::atomic<std::uint64_t> round_processed{0}, round_aborted{0};
+    // Touched only in sequential commit phases (see below): plain counters.
+    std::uint64_t round_processed = 0, round_aborted = 0;
 
     // --- phase 1: find a bad triangle, build its cavity, race-mark ---
     //
@@ -271,8 +271,16 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
     };
 
     // --- the apply step shared by all schemes ---
+    //
+    // Mesh mutation (and the slot allocation it performs) is inherently
+    // serialized on the host, so every phase that calls apply() runs as a
+    // *sequential* phase: blocks execute in ascending order on one host
+    // thread. The modeled cost is unchanged; what it buys is a commit order
+    // that does not depend on host-thread interleaving, which makes whole
+    // refinement runs (mesh, stats, modeled cycles) deterministic for any
+    // host_workers value. All parallel wall-clock gain lives in the cavity
+    // building of the race phase, which stays block-parallel.
     auto apply = [&](gpu::ThreadCtx& ctx, std::uint32_t t) {
-      std::scoped_lock lock(apply_mu);
       std::int64_t bad_in_cavity = 0;
       for (Tri d : cav[t].tris) bad_in_cavity += m.is_bad(d) ? 1 : 0;
       std::vector<Tri> added;
@@ -286,13 +294,14 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
       ++round_processed;
     };
 
-    std::vector<gpu::KernelFn> phases;
-    phases.push_back(phase_race);
+    std::vector<gpu::Phase> phases;
+    phases.push_back({phase_race, /*sequential=*/false});
     switch (opts.scheme) {
       case core::ConflictScheme::kLocks: {
         // Single phase: claim per-element locks in id order, apply, done.
+        // Lock claiming + apply is mutual exclusion — fully sequential.
         phases.clear();
-        phases.push_back([&](gpu::ThreadCtx& ctx) {
+        phases.push_back({[&](gpu::ThreadCtx& ctx) {
           phase_race(ctx);
           const std::uint32_t t = ctx.tid();
           if (!active[t]) return;
@@ -308,11 +317,11 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
             ctx.atomic_op(kSpinRetries * hood[t].size());
             ++round_aborted;
           }
-        });
+        }, /*sequential=*/true});
         break;
       }
       case core::ConflictScheme::kTwoPhaseRaceCheck:
-        phases.push_back([&](gpu::ThreadCtx& ctx) {
+        phases.push_back({[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t t = ctx.tid();
           if (!active[t]) return;
           if (marks.exact_check(ctx, t, hood[t])) {
@@ -321,10 +330,10 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
           } else {
             ++round_aborted;
           }
-        });
+        }, /*sequential=*/true});
         break;
       case core::ConflictScheme::kTwoPhasePriority:
-        phases.push_back([&](gpu::ThreadCtx& ctx) {
+        phases.push_back({[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t t = ctx.tid();
           if (!active[t]) return;
           if (marks.priority_check(ctx, t, hood[t])) {
@@ -333,15 +342,15 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
           } else {
             ++round_aborted;
           }
-        });
+        }, /*sequential=*/true});
         break;
       case core::ConflictScheme::kThreePhase:
-        phases.push_back([&](gpu::ThreadCtx& ctx) {
+        phases.push_back({[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t t = ctx.tid();
           if (!active[t]) return;
           owns[t] = marks.priority_check(ctx, t, hood[t]) ? 1 : 0;
-        });
-        phases.push_back([&](gpu::ThreadCtx& ctx) {
+        }, /*sequential=*/false});
+        phases.push_back({[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t t = ctx.tid();
           if (!active[t]) return;
           if (owns[t] && marks.final_check(ctx, t, hood[t])) {
@@ -350,10 +359,10 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
             owns[t] = 0;
             ++round_aborted;
           }
-        });
+        }, /*sequential=*/true});
         break;
     }
-    dev.launch_phases(lc, phases, opts.barrier);
+    dev.launch_phases(lc, std::span<const gpu::Phase>(phases), opts.barrier);
     st.processed += round_processed;
     st.aborted += round_aborted;
 
@@ -422,7 +431,6 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
       std::clamp(static_cast<double>(m.num_slots()) /
                      (16384.0 * dev.config().num_sms),
                  3.0, 50.0));
-  std::mutex apply_mu;
 
   while (bad_count > 0 && st.rounds < opts.max_rounds) {
     ++st.rounds;
@@ -436,10 +444,16 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
     std::vector<std::vector<Tri>> hood(T);
     std::vector<Tri> cand(T, Mesh::kNone);
     std::vector<std::uint8_t> owns(T, 0);
-    std::atomic<std::uint64_t> round_processed{0}, round_aborted{0};
+    // Touched only in the sequential commit phase: plain counters.
+    std::uint64_t round_processed = 0, round_aborted = 0;
 
-    const gpu::KernelFn phases[3] = {
-        [&](gpu::ThreadCtx& ctx) {
+    const gpu::Phase phases[3] = {
+        // Pop + cavity building: block-parallel. Which thread pops which
+        // item depends on the pop interleaving, so — unlike the
+        // topology-driven driver — the data-driven schedule is not
+        // bit-deterministic across host_workers values; the worklist
+        // guarantees only that no item is lost or duplicated.
+        {[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t t = ctx.tid();
           // Pop until a live bad triangle appears (stale ids are skipped).
           for (;;) {
@@ -457,17 +471,18 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
           hood[t] = cav[t].neighborhood(m);
           charge_locality(ctx, cand[t], hood[t]);
           marks.race_mark(ctx, t, hood[t]);
-        },
-        [&](gpu::ThreadCtx& ctx) {
+        }, /*sequential=*/false},
+        {[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t t = ctx.tid();
           if (cand[t] == Mesh::kNone) return;
           owns[t] = marks.priority_check(ctx, t, hood[t]) ? 1 : 0;
-        },
-        [&](gpu::ThreadCtx& ctx) {
+        }, /*sequential=*/false},
+        // Commit: mesh mutation and requeue pushes, in ascending thread
+        // order on one host thread (see the topology-driven driver).
+        {[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t t = ctx.tid();
           if (cand[t] == Mesh::kNone) return;
           if (owns[t] && marks.final_check(ctx, t, hood[t])) {
-            std::scoped_lock lock(apply_mu);
             std::int64_t bad_in_cavity = 0;
             for (Tri d : cav[t].tris) bad_in_cavity += m.is_bad(d) ? 1 : 0;
             std::vector<Tri> added;
@@ -490,7 +505,7 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
             worklist.push(ctx, cand[t]);  // aborted: requeue
             ++round_aborted;
           }
-        },
+        }, /*sequential=*/true},
     };
     dev.launch_phases(lc, phases, opts.barrier);
     st.processed += round_processed;

@@ -48,9 +48,12 @@ struct DeviceConfig {
 
   std::uint64_t shared_mem_bytes = 48 * 1024;  ///< per block (48 KB config)
 
-  /// Number of host worker threads used to execute blocks. 1 (the default)
-  /// gives fully deterministic simulation; larger values exercise real
-  /// concurrency between logical GPU threads.
+  /// Number of host worker threads used to execute blocks. 0 means "auto":
+  /// one worker per hardware thread (std::thread::hardware_concurrency).
+  /// Modeled statistics are reduced per block in block order, so KernelStats
+  /// (including modeled_cycles) are bit-identical for every value; larger
+  /// values exercise real concurrency between logical GPU threads and are
+  /// the standard fast path for the drivers and benches (--host-workers).
   std::uint32_t host_workers = 1;
 
   /// When true, logical threads within a phase run in a seeded pseudo-random

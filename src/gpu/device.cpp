@@ -1,14 +1,25 @@
 #include "gpu/device.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <numeric>
+#include <thread>
 
 #include "support/rng.hpp"
 
 namespace morph::gpu {
 
-Device::Device(DeviceConfig cfg) : cfg_(cfg), pool_(cfg.host_workers) {}
+namespace {
+
+std::uint32_t resolve_host_workers(std::uint32_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<std::uint32_t>(hc) : 1u;
+}
+
+}  // namespace
+
+Device::Device(DeviceConfig cfg)
+    : cfg_(cfg), pool_(resolve_host_workers(cfg.host_workers)) {}
 
 KernelStats Device::launch(const LaunchConfig& lc, const KernelFn& fn) {
   const KernelFn phases[1] = {fn};
@@ -38,6 +49,14 @@ double Device::barrier_cycles(BarrierKind kind, const LaunchConfig& lc) const {
 KernelStats Device::launch_phases(const LaunchConfig& lc,
                                   std::span<const KernelFn> phases,
                                   BarrierKind barrier) {
+  std::vector<Phase> specs(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) specs[i].fn = phases[i];
+  return launch_phases(lc, std::span<const Phase>(specs), barrier);
+}
+
+KernelStats Device::launch_phases(const LaunchConfig& lc,
+                                  std::span<const Phase> phases,
+                                  BarrierKind barrier) {
   lc.validate();
   MORPH_CHECK(!phases.empty());
 
@@ -63,18 +82,24 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
       std::swap(order[i - 1], order[rng.next_below(i)]);
   }
 
-  double compute_cycles = 0.0;
-  for (const KernelFn& phase : phases) {
-    // Per-warp maxima and per-phase totals, gathered per block then reduced.
-    std::atomic<std::uint64_t> phase_work{0};
-    std::atomic<std::uint64_t> phase_atomics{0};
-    std::atomic<std::uint64_t> phase_mem{0};
-    std::atomic<std::uint64_t> phase_warp_steps{0};
-    std::atomic<std::uint64_t> phase_max_thread{0};
+  // Per-block accumulators, written only by the (unique) executor of each
+  // block and reduced in ascending block order afterwards: the reduction is
+  // race-free and bit-identical for any host_workers value.
+  struct BlockAcc {
+    std::uint64_t work = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t mem = 0;
+    std::uint64_t warp_steps = 0;
+    std::uint64_t max_thread = 0;
+  };
+  std::vector<BlockAcc> acc(lc.blocks);
 
-    pool_.run_all(lc.blocks, [&](std::uint64_t b) {
-      std::uint64_t block_work = 0, block_atomics = 0, block_mem = 0;
-      std::uint64_t block_warp_steps = 0, block_max_thread = 0;
+  double compute_cycles = 0.0;
+  for (const Phase& phase : phases) {
+    std::fill(acc.begin(), acc.end(), BlockAcc{});
+
+    const auto run_block = [&](std::uint64_t b) {
+      BlockAcc& a = acc[b];
       std::vector<std::uint64_t> warp_max(warps_per_block, 0);
 
       for (std::uint32_t i = 0; i < lc.threads_per_block; ++i) {
@@ -86,44 +111,48 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
         ctx.tpb_ = lc.threads_per_block;
         ctx.warp_size_ = cfg_.warp_size;
         ctx.grid_threads_ = static_cast<std::uint32_t>(total_threads);
-        phase(ctx);
-        block_work += ctx.work_;
-        block_atomics += ctx.atomics_;
-        block_mem += ctx.mem_;
-        block_max_thread = std::max(block_max_thread, ctx.work_);
+        phase.fn(ctx);
+        a.work += ctx.work_;
+        a.atomics += ctx.atomics_;
+        a.mem += ctx.mem_;
+        a.max_thread = std::max(a.max_thread, ctx.work_);
         auto& wm = warp_max[tib / cfg_.warp_size];
         wm = std::max(wm, ctx.work_);
       }
-      for (std::uint64_t wm : warp_max) block_warp_steps += wm;
+      for (std::uint64_t wm : warp_max) a.warp_steps += wm;
+    };
 
-      phase_work.fetch_add(block_work, std::memory_order_relaxed);
-      phase_atomics.fetch_add(block_atomics, std::memory_order_relaxed);
-      phase_mem.fetch_add(block_mem, std::memory_order_relaxed);
-      phase_warp_steps.fetch_add(block_warp_steps, std::memory_order_relaxed);
-      std::uint64_t prev = phase_max_thread.load(std::memory_order_relaxed);
-      while (prev < block_max_thread &&
-             !phase_max_thread.compare_exchange_weak(
-                 prev, block_max_thread, std::memory_order_relaxed)) {
-      }
-    });
+    if (phase.sequential) {
+      for (std::uint64_t b = 0; b < lc.blocks; ++b) run_block(b);
+    } else {
+      pool_.run_all(lc.blocks, run_block);
+    }
 
-    ks.total_work += phase_work.load();
-    ks.atomics += phase_atomics.load();
-    ks.global_accesses += phase_mem.load();
-    ks.warp_steps += phase_warp_steps.load();
-    ks.max_thread_work = std::max(ks.max_thread_work, phase_max_thread.load());
+    BlockAcc ph;
+    for (const BlockAcc& a : acc) {
+      ph.work += a.work;
+      ph.atomics += a.atomics;
+      ph.mem += a.mem;
+      ph.warp_steps += a.warp_steps;
+      ph.max_thread = std::max(ph.max_thread, a.max_thread);
+    }
+
+    ks.total_work += ph.work;
+    ks.atomics += ph.atomics;
+    ks.global_accesses += ph.mem;
+    ks.warp_steps += ph.warp_steps;
+    ks.max_thread_work = std::max(ks.max_thread_work, ph.max_thread);
 
     // Makespan of this phase: warp steps spread over the device's resident
     // warp slots (but never better than the slowest warp), plus serialized
     // atomic and memory surcharges.
     const double concurrency =
         std::min(cfg_.warp_slots(), static_cast<double>(total_warps));
-    const double steps = static_cast<double>(phase_warp_steps.load());
+    const double steps = static_cast<double>(ph.warp_steps);
     compute_cycles += steps * cfg_.step_cost / std::max(concurrency, 1.0);
-    compute_cycles += static_cast<double>(phase_atomics.load()) *
-                      cfg_.atomic_cost / cfg_.atomic_concurrency;
-    compute_cycles += static_cast<double>(phase_mem.load()) *
-                      cfg_.global_mem_cost /
+    compute_cycles += static_cast<double>(ph.atomics) * cfg_.atomic_cost /
+                      cfg_.atomic_concurrency;
+    compute_cycles += static_cast<double>(ph.mem) * cfg_.global_mem_cost /
                       std::min(cfg_.mem_concurrency, concurrency);
   }
 

@@ -17,7 +17,14 @@
 // barriers only involve block representatives).
 //
 // Logical threads may be executed by multiple host threads (block-parallel)
-// when DeviceConfig::host_workers > 1; the default of 1 is deterministic.
+// when DeviceConfig::host_workers != 1; this is the standard fast path (the
+// drivers and benches default to one worker per hardware thread). Stats are
+// accumulated per block and reduced in block order, so every KernelStats
+// field — including modeled_cycles — is bit-identical for any host_workers
+// value. Phases that mutate shared state in an order-dependent way can be
+// marked Phase::sequential: they run blocks in ascending order on one host
+// thread, which keeps whole-algorithm runs deterministic (see DESIGN.md,
+// "Block-parallel execution").
 #pragma once
 
 #include <cstdint>
@@ -73,6 +80,17 @@ class ThreadCtx {
 
 using KernelFn = std::function<void(ThreadCtx&)>;
 
+/// One phase of a multi-phase launch. A sequential phase executes its blocks
+/// in ascending order on the calling host thread regardless of host_workers;
+/// the cost model is unchanged (the same work is counted), only the *host*
+/// execution is serialized. Use it for commit steps whose host-side effect
+/// is inherently serialized anyway (e.g. retriangulation under a lock) so
+/// the mutation order — and thus the whole run — is deterministic.
+struct Phase {
+  KernelFn fn;
+  bool sequential = false;
+};
+
 /// The simulated device. Thread-safe for the memory-accounting hooks; launch
 /// calls must not overlap.
 class Device {
@@ -82,12 +100,22 @@ class Device {
   const DeviceConfig& config() const { return cfg_; }
   DeviceConfig& config() { return cfg_; }
 
+  /// Number of host worker threads actually executing blocks (the resolved
+  /// value of DeviceConfig::host_workers; 0 resolves to the hardware
+  /// concurrency).
+  std::uint32_t host_workers() const { return pool_.workers(); }
+
   /// Launches a single-phase kernel and returns its statistics.
   KernelStats launch(const LaunchConfig& lc, const KernelFn& fn);
 
   /// Launches a kernel with global barriers between consecutive phases.
   KernelStats launch_phases(const LaunchConfig& lc,
                             std::span<const KernelFn> phases,
+                            BarrierKind barrier = BarrierKind::kHierarchical);
+
+  /// As above, with per-phase execution control (Phase::sequential).
+  KernelStats launch_phases(const LaunchConfig& lc,
+                            std::span<const Phase> phases,
                             BarrierKind barrier = BarrierKind::kHierarchical);
 
   const DeviceStats& stats() const { return stats_; }

@@ -46,8 +46,12 @@ class DeviceBuffer {
   void grow(std::size_t n, double slack = 1.5) {
     if (n <= data_.size()) return;
     if (n > data_.capacity()) {
-      const std::size_t new_cap = static_cast<std::size_t>(
-          static_cast<double>(std::max(n, data_.capacity())) * slack);
+      // Clamp so slack < 1.0 can't shrink the request below n (the resize
+      // below would then reallocate again, uncharged and unmodeled). The
+      // realloc's device-to-device copy moves the old *logical* contents.
+      const std::size_t new_cap = std::max(
+          n, static_cast<std::size_t>(
+                 static_cast<double>(std::max(n, data_.capacity())) * slack));
       dev_->note_realloc(data_.size() * sizeof(T));
       dev_->note_host_alloc(new_cap * sizeof(T));
       data_.reserve(new_cap);

@@ -6,6 +6,12 @@
 // synchronization. The pseudo-partitioning produced by the memory-layout
 // optimization (graph/layout.hpp) makes a thread's new work likely to land
 // in its own local queue.
+//
+// GlobalWorklist is safe for concurrent push/pop from any number of host
+// threads (block-parallel execution, DeviceConfig::host_workers > 1). Index
+// claims are CAS-bounded: a push can never reserve a slot past the capacity
+// and an empty pop can never advance the head, so the invariant
+// head <= commit <= tail <= capacity holds at all times.
 #pragma once
 
 #include <atomic>
@@ -20,7 +26,8 @@ namespace morph::gpu {
 
 /// Per-thread queue with bounded capacity (shared-memory budget). push()
 /// returns false on overflow and counts the spill; callers fall back to the
-/// global list or to the next topology-driven sweep.
+/// global list or to the next topology-driven sweep. Not thread-safe: a
+/// local worklist belongs to exactly one logical thread.
 template <typename T>
 class LocalWorklist {
  public:
@@ -34,9 +41,17 @@ class LocalWorklist {
   std::uint64_t spills() const { return spills_; }
 
   bool push(const T& v) {
-    if (items_.size() >= cap_) {
+    // Capacity bounds the number of *live* items, not the number of slots
+    // ever written: popped entries are reclaimed by compacting the consumed
+    // prefix, so pop/push cycles never cause spurious spills.
+    if (size() >= cap_) {
       ++spills_;
       return false;
+    }
+    if (items_.size() >= cap_) {
+      items_.erase(items_.begin(),
+                   items_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
     }
     items_.push_back(v);
     return true;
@@ -59,51 +74,79 @@ class LocalWorklist {
   std::uint64_t spills_ = 0;
 };
 
-/// Centralized worklist; every push/pop is an atomic fetch-add charged to
+/// Centralized worklist; every push/pop is an atomic index claim charged to
 /// the calling thread. Fixed capacity chosen at construction.
+///
+/// Concurrency: multi-producer multi-consumer. A push claims a slot with a
+/// capacity-bounded CAS on `tail_`, writes the item, then publishes it by
+/// advancing `commit_` in slot order; a pop claims an index with a
+/// commit-bounded CAS on `head_`, so it can neither overrun the published
+/// items nor observe a slot whose write is still in flight.
 template <typename T>
 class GlobalWorklist {
  public:
   explicit GlobalWorklist(std::size_t capacity)
-      : items_(capacity), tail_(0), head_(0) {}
+      : items_(capacity), tail_(0), commit_(0), head_(0) {}
 
   std::size_t capacity() const { return items_.size(); }
 
+  /// Discards all content. Must not race with push/pop (call between
+  /// kernel launches only).
   void reset() {
     tail_.store(0, std::memory_order_relaxed);
+    commit_.store(0, std::memory_order_relaxed);
     head_.store(0, std::memory_order_relaxed);
   }
 
-  /// Returns false when full (work is dropped to the next sweep).
+  /// Returns false when full (work is dropped to the next sweep). A failed
+  /// push leaves the indices untouched.
   bool push(ThreadCtx& ctx, const T& v) {
     ctx.atomic_op();
-    const std::uint64_t slot = tail_.fetch_add(1, std::memory_order_relaxed);
-    if (slot >= items_.size()) {
-      tail_.store(items_.size(), std::memory_order_relaxed);
-      return false;
-    }
+    std::uint64_t slot = tail_.load(std::memory_order_relaxed);
+    do {
+      if (slot >= items_.size()) return false;
+    } while (!tail_.compare_exchange_weak(slot, slot + 1,
+                                          std::memory_order_relaxed));
     items_[slot] = v;
+    // Publish in slot order so a concurrent pop never claims an index whose
+    // item write has not completed.
+    std::uint64_t expected = slot;
+    while (!commit_.compare_exchange_weak(expected, slot + 1,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+      expected = slot;
+    }
     return true;
   }
 
+  /// Claims and returns the oldest published item, or nullopt when empty.
+  /// An empty pop never advances the head, so items pushed later are
+  /// still delivered.
   std::optional<T> pop(ThreadCtx& ctx) {
     ctx.atomic_op();
-    const std::uint64_t slot = head_.fetch_add(1, std::memory_order_relaxed);
-    if (slot >= tail_.load(std::memory_order_relaxed)) return std::nullopt;
-    return items_[slot];
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (h >= commit_.load(std::memory_order_acquire)) return std::nullopt;
+      if (head_.compare_exchange_weak(h, h + 1, std::memory_order_relaxed)) {
+        return items_[h];
+      }
+    }
   }
 
-  /// Number of elements currently enqueued (single-threaded contexts only).
+  /// Number of published elements currently enqueued. Safe to call
+  /// concurrently; the head-behind-commit invariant is checked.
   std::size_t size() const {
-    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t c = commit_.load(std::memory_order_acquire);
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    return t > h ? static_cast<std::size_t>(t - h) : 0;
+    MORPH_CHECK_MSG(h <= c, "GlobalWorklist: head overran committed tail");
+    return static_cast<std::size_t>(c - h);
   }
 
  private:
   std::vector<T> items_;
-  std::atomic<std::uint64_t> tail_;
-  std::atomic<std::uint64_t> head_;
+  std::atomic<std::uint64_t> tail_;    ///< next slot to reserve
+  std::atomic<std::uint64_t> commit_;  ///< slots published, <= tail_
+  std::atomic<std::uint64_t> head_;    ///< next index to pop, <= commit_
 };
 
 }  // namespace morph::gpu

@@ -66,6 +66,12 @@ MstResult mst_gpu(const graph::CsrGraph& g, gpu::Device& dev) {
   std::vector<Best> node_best(n);
   std::vector<Best> comp_best(n);
   std::vector<Node> partner(n);
+  // Frozen pre-phase view of partner[] for the cycle-breaking and
+  // pointer-jumping kernels. On the GPU the in-place accesses are benign
+  // word-sized races; reading a snapshot gives the host threads defined
+  // behaviour AND pins the number of jumping iterations, so modeled cycles
+  // are identical for any host_workers value.
+  std::vector<Node> partner_prev(n);
   std::vector<std::uint32_t> comp_index(n, ~0u);
 
   const std::uint32_t sm = dev.config().num_sms;
@@ -147,11 +153,13 @@ MstResult mst_gpu(const graph::CsrGraph& g, gpu::Device& dev) {
         partner[c] = (b.key == kNoEdge) ? c : comp[b.v];
       }
     });
+    partner_prev = partner;
     dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
       for (std::uint64_t ci = ctx.tid(); ci < alive.size(); ci += T) {
         const Node c = alive[ci];
         ctx.work(1);
-        if (partner[partner[c]] == c && c < partner[c]) {
+        const Node p = partner_prev[c];
+        if (partner_prev[p] == c && c < p) {
           // Representative of the mutual pair.
           partner[c] = c;
         }
@@ -162,12 +170,13 @@ MstResult mst_gpu(const graph::CsrGraph& g, gpu::Device& dev) {
       bool jumped = true;
       while (jumped) {
         std::atomic<bool> any{false};
+        partner_prev = partner;
         dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
           for (std::uint64_t ci = ctx.tid(); ci < alive.size(); ci += T) {
             const Node c = alive[ci];
             ctx.work(1);
-            const Node p = partner[c];
-            const Node pp = partner[p];
+            const Node p = partner_prev[c];
+            const Node pp = partner_prev[p];
             if (p != pp) {
               partner[c] = pp;
               any.store(true, std::memory_order_relaxed);

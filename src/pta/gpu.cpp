@@ -6,6 +6,8 @@
 // points-to set, so no synchronization is needed (monotonicity makes stale
 // reads safe). The push-based variant is kept for the ablation bench.
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <mutex>
 
 #include "core/adaptive.hpp"
@@ -98,6 +100,24 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
   std::vector<std::uint8_t> touched(n, 0);  // got a new edge this round
   std::mutex list_mu;  // host-side guard; cost is charged via the model
 
+  // Pull-phase guard for the points-to sets: on the GPU the pull model needs
+  // no synchronization (stale reads are safe under monotonicity), but on the
+  // host a reader of pts[u] must not observe the owner's vector mid-swap.
+  // Striped mutexes keep contention low; the cost model is unaffected (the
+  // stripes model what the GPU gets for free from word-atomic loads).
+  constexpr std::size_t kPtsStripes = 64;
+  std::array<std::mutex, kPtsStripes> pts_mu;
+  auto locked_union = [&](Var v, Var u, std::uint64_t* ops) {
+    std::mutex& mv = pts_mu[v % kPtsStripes];
+    std::mutex& mu = pts_mu[u % kPtsStripes];
+    if (&mv == &mu) {
+      std::scoped_lock lock(mv);
+      return union_into(pts[v], pts[u], ops);
+    }
+    std::scoped_lock lock(mv, mu);
+    return union_into(pts[v], pts[u], ops);
+  };
+
   // Transfer the constraints to the device (main()).
   dev.note_copy(cs.constraints.size() * sizeof(Constraint));
 
@@ -168,8 +188,8 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
     ++st.iterations;
     const gpu::LaunchConfig lc = launcher.next(dev.config());
     const std::uint64_t T = lc.total_threads();
-    std::uint64_t round_added = 0;
-    std::uint64_t round_grew = 0;
+    std::uint64_t round_added = 0;          // bumped under list_mu only
+    std::atomic<std::uint64_t> round_grew{0};
 
     // --- phase A: load/store constraints add edges (Sec. 4: "constraints
     // are evaluated"; edges go to the incoming list in the pull model) ---
@@ -239,13 +259,13 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
           bool grew = false;
           std::uint64_t ops = 0;
           nbr[v].for_each([&](Var u) {
-            grew |= union_into(pts[v], pts[u], &ops);
+            grew |= locked_union(v, u, &ops);
           });
           ctx.work(ops);
           ctx.global_access(nbr[v].size());
           if (grew) {
             changed_next[v] = 1;
-            ++round_grew;
+            round_grew.fetch_add(1, std::memory_order_relaxed);
           }
         }
       });
@@ -262,7 +282,7 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
             ctx.atomic_op();
             if (union_into(pts[v], pts[u], &ops)) {
               changed_next[v] = 1;
-              ++round_grew;
+              round_grew.fetch_add(1, std::memory_order_relaxed);
             }
           });
           ctx.work(ops);
@@ -274,7 +294,7 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
     std::fill(touched.begin(), touched.end(), 0);
     changed_cur.swap(changed_next);
     std::fill(changed_next.begin(), changed_next.end(), 0);
-    progress = round_added > 0 || round_grew > 0;
+    progress = round_added > 0 || round_grew.load() > 0;
   }
 
   // Copy the solution back to the host.

@@ -1,6 +1,7 @@
 #include "sp/survey.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <mutex>
@@ -12,6 +13,22 @@ namespace morph::sp {
 namespace {
 
 constexpr double kTinySurvivor = 1e-12;
+
+// On the GPU a sweep's cross-clause eta reads are benign word-sized data
+// races (each edge has one writer; readers tolerate stale values because the
+// iteration converges regardless). Under block-parallel host execution the
+// same accesses need defined behaviour: route them through relaxed
+// std::atomic_ref, which compiles to plain loads/stores on mainstream
+// hardware. Same-clause accesses are single-writer/single-reader per thread
+// and stay plain.
+double eta_load(const FactorGraph& g, std::uint32_t e) {
+  return std::atomic_ref<double>(const_cast<double&>(g.eta[e]))
+      .load(std::memory_order_relaxed);
+}
+
+void eta_store(FactorGraph& g, std::uint32_t e, double v) {
+  std::atomic_ref<double>(g.eta[e]).store(v, std::memory_order_relaxed);
+}
 
 /// Products over literal j's alive edges other than `self`, split by
 /// occurrence sign *relative to* `sgn` (j's sign in the clause being
@@ -26,7 +43,7 @@ void walk_products(const FactorGraph& g, Lit j, std::uint32_t self, bool sgn,
     ++n;
     if (!g.edge_alive[b] || b == self) continue;
     const bool bsgn = g.formula->negated[b] != 0;
-    const double v = 1.0 - g.eta[b];
+    const double v = 1.0 - eta_load(g, b);
     if (bsgn == sgn) {
       prod_same *= v;
     } else {
@@ -113,7 +130,7 @@ double update_clause(FactorGraph& g, Clause c, const SurveyCache* cache,
     // literal onto the slow re-walk path).
     v = std::min(v, 1.0 - 1e-9);
     maxd = std::max(maxd, std::abs(v - g.eta[e]));
-    g.eta[e] = v;
+    eta_store(g, e, v);
   }
   if (ops) *ops += static_cast<std::uint64_t>(k) * k;
   return maxd;
@@ -486,6 +503,12 @@ SpResult solve_gpu(const Formula& f, gpu::Device& dev,
   // Transfer the formula once (main(): CPU -> GPU).
   dev.note_copy(f.clause_lit.size() * (sizeof(Lit) + 1));
 
+  // Kernel threads run on several host workers; they tally ops into an
+  // atomic that is drained into the schedule's plain `work` counter between
+  // launches (run_schedule only reads it there).
+  std::atomic<std::uint64_t> launch_ops{0};
+  auto drain_ops = [&] { work += launch_ops.exchange(0); };
+
   Hooks hooks;
   hooks.refresh = [&] {
     dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
@@ -497,9 +520,10 @@ SpResult solve_gpu(const Formula& f, gpu::Device& dev,
         const std::uint64_t ops =
             refresh_cache_lit(g, static_cast<Lit>(i), cache);
         ctx.work(ops);
-        work += ops;
+        launch_ops.fetch_add(ops, std::memory_order_relaxed);
       }
     });
+    drain_ops();
   };
   hooks.sweep = [&] {
     double maxd = 0.0;
@@ -512,13 +536,14 @@ SpResult solve_gpu(const Formula& f, gpu::Device& dev,
             local, update_clause(g, static_cast<Clause>(c), &cache, &ops));
       }
       ctx.work(ops);
-      work += ops;
+      launch_ops.fetch_add(ops, std::memory_order_relaxed);
       // Block-level max reduction: only the block representative touches
       // the global accumulator.
       if (ctx.thread_in_block() == 0) ctx.atomic_op();
       std::scoped_lock lock(mu);
       maxd = std::max(maxd, local);
     });
+    drain_ops();
     return maxd;
   };
   hooks.bias = [&](std::vector<double>& mag, std::vector<std::uint8_t>& val) {
@@ -529,11 +554,12 @@ SpResult solve_gpu(const Formula& f, gpu::Device& dev,
         std::uint64_t ops = 0;
         const Bias b = literal_bias(g, static_cast<Lit>(i), &ops);
         ctx.work(ops);
-        work += ops;
+        launch_ops.fetch_add(ops, std::memory_order_relaxed);
         mag[i] = b.magnitude;
         val[i] = b.value ? 1 : 0;
       }
     });
+    drain_ops();
   };
 
   SpResult res = run_schedule(g, opts, hooks, work, rng);

@@ -45,4 +45,14 @@ bool CliArgs::get_bool(const std::string& name, bool dflt) const {
   return it->second != "0" && it->second != "false";
 }
 
+std::uint32_t default_host_workers() {
+  return 0;  // auto: the Device resolves 0 to hardware_concurrency
+}
+
+std::uint32_t host_workers_arg(const CliArgs& args) {
+  const std::int64_t v =
+      args.get_int("host-workers", static_cast<std::int64_t>(default_host_workers()));
+  return v < 0 ? 0u : static_cast<std::uint32_t>(v);
+}
+
 }  // namespace morph

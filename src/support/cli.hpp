@@ -25,4 +25,15 @@ class CliArgs {
   std::map<std::string, std::string> flags_;
 };
 
+/// Number of host worker threads drivers use when --host-workers is absent:
+/// 0, the "auto" sentinel (one worker per hardware thread — see
+/// gpu::DeviceConfig::host_workers). Block-parallel execution is the
+/// standard fast path for every driver and bench harness.
+std::uint32_t default_host_workers();
+
+/// Reads --host-workers (defaulting to default_host_workers()) for plumbing
+/// into gpu::DeviceConfig::host_workers. --host-workers=1 restores the
+/// serial inline mode; modeled statistics are identical either way.
+std::uint32_t host_workers_arg(const CliArgs& args);
+
 }  // namespace morph

@@ -68,25 +68,31 @@ TEST(MarkTable, PriorityCheckLowerMarkGetsOverwritten) {
   EXPECT_FALSE(marks.final_check(ctx, 5, a));
 }
 
-TEST(MarkTable, TwoPhaseRaceFromPaperBothProceed) {
-  // Reconstruct the interleaving of Sec. 7.3: cavities of t_i > t_j share a
-  // triangle; t_j wrote last in the race phase; t_j prioritychecks first
-  // and passes, then t_i prioritychecks, re-marks, and also passes — both
-  // threads believe they own the overlapping cavities. The 2-phase
-  // protocol is incorrect.
+TEST(MarkTable, TwoPhaseRaceFromPaperResolvedByMaxRace) {
+  // Sec. 7.3's 2-phase anomaly: on real hardware the race phase's winner is
+  // arbitrary, so a shared triangle can end up marked with the *lower* id
+  // t_j; t_j prioritychecks first and passes, then t_i re-marks and also
+  // passes — overlapping winners. This simulator resolves race-phase
+  // contention deterministically highest-id-wins (the serial execution
+  // order's outcome), so the anomalous post-race state is unreachable: the
+  // shared element always holds t_i, t_j backs off in the prioritycheck,
+  // and the winner set is identical under any host-thread interleaving.
+  // The read-only third phase is kept (and benched) as the paper's fix for
+  // hardware where the race is genuinely arbitrary.
   MarkTable marks(8);
   auto ctx = dummy_ctx();
   const std::uint32_t ti_hood[] = {1, 2};  // t_i = 9
   const std::uint32_t tj_hood[] = {2, 3};  // t_j = 4, shares element 2
   marks.race_mark(ctx, 9, ti_hood);
-  marks.race_mark(ctx, 4, tj_hood);  // t_j writes the shared element last
+  marks.race_mark(ctx, 4, tj_hood);  // t_j races last but does not win
+  EXPECT_EQ(marks.owner(2), 9u);
   // --- global barrier ---
   const bool tj_owns = marks.priority_check(ctx, 4, tj_hood);  // runs first
-  const bool ti_owns = marks.priority_check(ctx, 9, ti_hood);  // re-marks
-  EXPECT_TRUE(tj_owns);
-  EXPECT_TRUE(ti_owns);  // the race: overlapping winners
+  const bool ti_owns = marks.priority_check(ctx, 9, ti_hood);
+  EXPECT_FALSE(tj_owns);  // backs off: no overlapping winners
+  EXPECT_TRUE(ti_owns);
 
-  // The read-only third phase resolves it: t_j's final check fails.
+  // The third phase agrees with the prioritycheck in either order.
   EXPECT_FALSE(marks.final_check(ctx, 4, tj_hood));
   EXPECT_TRUE(marks.final_check(ctx, 9, ti_hood));
 }

@@ -147,6 +147,54 @@ TEST(Launch, HostWorkersProduceSameCoverage) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(Launch, StatsBitIdenticalAcrossHostWorkers) {
+  // The tentpole guarantee of block-parallel execution: per-block stats are
+  // reduced in block order, so every KernelStats field — including the
+  // floating-point modeled_cycles — is bit-identical for any worker count.
+  auto run = [](std::uint32_t workers) {
+    DeviceConfig cfg;
+    cfg.host_workers = workers;
+    Device dev(cfg);
+    const Phase phases[2] = {
+        {[](ThreadCtx& ctx) {
+          ctx.work(ctx.tid() % 7 + 1);
+          if (ctx.tid() % 3 == 0) ctx.atomic_op();
+          if (ctx.tid() % 5 == 0) ctx.global_access();
+        }, /*sequential=*/false},
+        {[](ThreadCtx& ctx) { ctx.work(ctx.lane()); }, /*sequential=*/true},
+    };
+    return dev.launch_phases({13, 96}, std::span<const Phase>(phases));
+  };
+  const KernelStats a = run(1);
+  for (std::uint32_t workers : {2u, 4u, 8u}) {
+    const KernelStats b = run(workers);
+    EXPECT_EQ(a.total_work, b.total_work);
+    EXPECT_EQ(a.atomics, b.atomics);
+    EXPECT_EQ(a.global_accesses, b.global_accesses);
+    EXPECT_EQ(a.warp_steps, b.warp_steps);
+    EXPECT_EQ(a.max_thread_work, b.max_thread_work);
+    EXPECT_EQ(a.modeled_cycles, b.modeled_cycles);  // bitwise, not approx
+  }
+}
+
+TEST(Launch, SequentialPhaseRunsBlocksInAscendingOrder) {
+  // A Phase marked sequential executes its blocks on the launching thread
+  // in ascending block order even when the device has many workers — the
+  // hook host-serialized commit phases use for deterministic mutation.
+  DeviceConfig cfg;
+  cfg.host_workers = 8;
+  Device dev(cfg);
+  std::vector<std::uint32_t> order;
+  const Phase phases[1] = {
+      {[&](ThreadCtx& ctx) {
+        if (ctx.thread_in_block() == 0) order.push_back(ctx.block());
+      }, /*sequential=*/true},
+  };
+  dev.launch_phases({12, 32}, std::span<const Phase>(phases));
+  ASSERT_EQ(order.size(), 12u);
+  for (std::uint32_t b = 0; b < order.size(); ++b) EXPECT_EQ(order[b], b);
+}
+
 TEST(DeviceStats, AccumulatesAcrossLaunches) {
   Device dev;
   dev.launch({1, 32}, [](ThreadCtx& ctx) { ctx.work(2); });
@@ -169,6 +217,23 @@ TEST(DeviceBuffer, GrowChargesReallocOnlyWhenCapacityExceeded) {
   const auto reallocs = dev.stats().reallocs;
   buf.grow(1100);  // slack from the previous growth should absorb this
   EXPECT_EQ(dev.stats().reallocs, reallocs);
+}
+
+TEST(DeviceBuffer, GrowClampsCapacityUnderTightSlack) {
+  // Regression: slack < 1.0 used to shrink the reservation below the
+  // request, so the subsequent resize reallocated again — uncharged.
+  Device dev;
+  DeviceBuffer<int> buf(dev);
+  buf.grow(100, /*slack=*/0.5);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_GE(buf.capacity(), 100u);
+  EXPECT_EQ(dev.stats().reallocs, 1u);
+  // The realloc's device-to-device copy is charged with the old *logical*
+  // size: growing from 100 live elements copies exactly those bytes.
+  const auto copied_before = dev.stats().bytes_copied;
+  buf.grow(200, /*slack=*/0.5);
+  EXPECT_EQ(dev.stats().bytes_copied - copied_before, 100 * sizeof(int));
+  EXPECT_EQ(buf.size(), 200u);
 }
 
 TEST(DeviceBuffer, TransferChargesCopyBytes) {
@@ -242,6 +307,100 @@ TEST(GlobalWorklist, OverflowReportsFalse) {
   int ok = 0;
   dev.launch({1, 4}, [&](ThreadCtx& ctx) { ok += wl.push(ctx, 1) ? 1 : 0; });
   EXPECT_EQ(ok, 2);
+}
+
+TEST(GlobalWorklist, EmptyPopThenPushRetainsItem) {
+  // Regression: an empty pop used to advance the head index past the tail,
+  // so items pushed afterwards were silently skipped.
+  Device dev;
+  GlobalWorklist<int> wl(4);
+  ThreadCtx ctx;
+  EXPECT_FALSE(wl.pop(ctx).has_value());
+  EXPECT_FALSE(wl.pop(ctx).has_value());
+  EXPECT_TRUE(wl.push(ctx, 42));
+  EXPECT_EQ(wl.size(), 1u);
+  const auto v = wl.pop(ctx);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(wl.size(), 0u);
+}
+
+TEST(GlobalWorklist, OverflowDoesNotClobberClaimedSlots) {
+  // Regression: a failed push used to rewrite the tail index to capacity,
+  // which could clobber slots other threads had already claimed.
+  Device dev;
+  GlobalWorklist<int> wl(3);
+  ThreadCtx ctx;
+  EXPECT_TRUE(wl.push(ctx, 1));
+  EXPECT_TRUE(wl.push(ctx, 2));
+  EXPECT_TRUE(wl.push(ctx, 3));
+  EXPECT_FALSE(wl.push(ctx, 4));
+  EXPECT_FALSE(wl.push(ctx, 5));
+  std::vector<int> seen;
+  while (auto v = wl.pop(ctx)) seen.push_back(*v);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(GlobalWorklist, ConcurrentStressLosesAndDuplicatesNothing) {
+  // 8 host workers, 16 blocks: every thread pushes a unique batch and pops a
+  // few items while other blocks are mid-push. Every pushed value must be
+  // popped exactly once across the kernel pops and the final drain.
+  constexpr std::uint32_t kBlocks = 16, kTpb = 32, kPerThread = 8;
+  constexpr std::uint32_t T = kBlocks * kTpb;
+  DeviceConfig cfg;
+  cfg.host_workers = 8;
+  Device dev(cfg);
+  for (int round = 0; round < 3; ++round) {
+    GlobalWorklist<std::uint32_t> wl(T * kPerThread);
+    std::vector<std::vector<std::uint32_t>> got(T);
+    dev.launch({kBlocks, kTpb}, [&](ThreadCtx& ctx) {
+      const std::uint32_t t = ctx.tid();
+      for (std::uint32_t k = 0; k < kPerThread; ++k) {
+        ASSERT_TRUE(wl.push(ctx, t * kPerThread + k));
+        if (k % 2 == 1) {
+          if (auto v = wl.pop(ctx)) got[t].push_back(*v);
+        }
+      }
+    });
+    ThreadCtx drain_ctx;
+    std::vector<std::uint32_t> all;
+    while (auto v = wl.pop(drain_ctx)) all.push_back(*v);
+    for (const auto& g : got) all.insert(all.end(), g.begin(), g.end());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(T) * kPerThread);
+    std::sort(all.begin(), all.end());
+    for (std::uint32_t i = 0; i < T * kPerThread; ++i) {
+      ASSERT_EQ(all[i], i) << "item lost or duplicated";
+    }
+  }
+}
+
+TEST(GlobalWorklist, ResetRestoresInvariant) {
+  Device dev;
+  GlobalWorklist<int> wl(2);
+  ThreadCtx ctx;
+  EXPECT_TRUE(wl.push(ctx, 7));
+  EXPECT_TRUE(wl.push(ctx, 8));
+  EXPECT_FALSE(wl.push(ctx, 9));
+  wl.reset();
+  EXPECT_EQ(wl.size(), 0u);
+  EXPECT_FALSE(wl.pop(ctx).has_value());
+  EXPECT_TRUE(wl.push(ctx, 10));
+  EXPECT_EQ(wl.pop(ctx).value(), 10);
+}
+
+TEST(LocalWorklist, PushAfterPopsReusesCapacity) {
+  // Regression: the capacity check used to count already-popped items, so a
+  // worklist cycling through push/pop reported spurious spills.
+  LocalWorklist<int> wl(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(wl.push(i)) << "spurious spill at " << i;
+    EXPECT_EQ(wl.pop().value(), i);
+  }
+  EXPECT_EQ(wl.spills(), 0u);
+  EXPECT_TRUE(wl.push(100));
+  EXPECT_TRUE(wl.push(101));
+  EXPECT_FALSE(wl.push(102));  // genuinely full: 2 live items
+  EXPECT_EQ(wl.spills(), 1u);
 }
 
 TEST(ThreadPool, InlineModeRunsAllTasks) {

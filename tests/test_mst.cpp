@@ -125,6 +125,23 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("grid", "random", "rmat", "road"),
                        ::testing::Values(1ull, 2ull, 3ull)));
 
+TEST(GpuBoruvka, BlockParallelExecutionMatchesKruskal) {
+  // Block-parallel host execution (the standard fast path): the partner
+  // resolution is deterministic under any interleaving, so results and
+  // modeled stats match the serial inline mode exactly.
+  const GraphCase gc = make_case("random", 7);
+  auto g = CsrGraph::from_undirected_edges(gc.n, gc.edges);
+  const MstResult kr = mst_kruskal(g);
+  gpu::Device d1;
+  gpu::Device d4(gpu::DeviceConfig{.host_workers = 4});
+  const MstResult r1 = mst_gpu(g, d1);
+  const MstResult r4 = mst_gpu(g, d4);
+  EXPECT_EQ(r4.total_weight, kr.total_weight);
+  EXPECT_EQ(r4.tree_edges, kr.tree_edges);
+  EXPECT_EQ(r4.rounds, r1.rounds);
+  EXPECT_EQ(r4.modeled_cycles, r1.modeled_cycles);  // bitwise
+}
+
 TEST(CostShape, GpuBeatsEdgeMergeOnDenseLosesOnSparse) {
   // The Fig. 11 crossover, at reduced scale: on a dense random graph the
   // edge-merging baseline degrades relative to the component-based GPU

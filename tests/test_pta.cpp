@@ -223,6 +223,26 @@ TEST(Gpu, DivergenceSortKnobKeepsSolution) {
   EXPECT_TRUE(equal_pts(ser, solve_gpu(cs, dev, opts)));
 }
 
+TEST(Gpu, BlockParallelExecutionReachesTheSameFixedPoint) {
+  // Block-parallel host execution (the standard fast path). The pull phase
+  // guards points-to set access with striped locks and the push phase routes
+  // growth through the worklist, so both variants converge to the serial
+  // fixed point under any interleaving (union is monotone).
+  const ConstraintSet cs = synthetic_program(400, 500, 15);
+  const PtsSets ser = solve_serial(cs);
+
+  gpu::Device d_pull(gpu::DeviceConfig{.host_workers = 4});
+  PtaOptions pull;
+  EXPECT_TRUE(equal_pts(ser, solve_gpu(cs, d_pull, pull)))
+      << "pull-based GPU deviates under host_workers=4";
+
+  gpu::Device d_push(gpu::DeviceConfig{.host_workers = 4});
+  PtaOptions push;
+  push.push_based = true;
+  EXPECT_TRUE(equal_pts(ser, solve_gpu(cs, d_push, push)))
+      << "push-based GPU deviates under host_workers=4";
+}
+
 TEST(Gpu, EdgeCountGrowsMonotonically) {
   const ConstraintSet cs = synthetic_program(400, 600, 13);
   gpu::Device dev;

@@ -278,6 +278,23 @@ TEST(Solve, GpuDriverMatchesSerialTrajectory) {
   EXPECT_GT(dev.stats().launches, 0u);
 }
 
+TEST(Solve, GpuDriverSolvesUnderBlockParallelExecution) {
+  // Block-parallel host execution (the standard fast path). Cross-clause
+  // eta reads go through relaxed atomics, so the run is race-free, but the
+  // Gauss-Seidel sweep sees different staleness per interleaving — the
+  // trajectory is not comparable to the serial driver. Assert the solver
+  // still works on an easy instance (ratio 3.0).
+  const std::uint32_t n = 600;
+  auto f = random_ksat(n, 3 * n, 3, 14);
+  SpOptions opts;
+  opts.seed = 21;
+  gpu::Device dev(gpu::DeviceConfig{.host_workers = 4});
+  const SpResult r = solve_gpu(f, dev, opts);
+  ASSERT_TRUE(r.solved) << "ratio 3.0 should be reliably solvable";
+  EXPECT_TRUE(check_assignment(f, r.assignment));
+  EXPECT_GT(r.modeled_cycles, 0.0);
+}
+
 TEST(Solve, MulticoreSolvesAndChargesSync) {
   const std::uint32_t n = 800;
   auto f = random_ksat(n, static_cast<std::uint32_t>(3.8 * n), 3, 11);
