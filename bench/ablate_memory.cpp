@@ -11,36 +11,43 @@
 
 int main(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
-
-  bench::header("Ablation — PTA Kernel-Only chunk size (Sec. 7.1)",
-                "small chunks: many device mallocs; large: fragmentation");
+  bench::Bench bench(argc, argv,
+                     "Ablation — PTA Kernel-Only chunk size (Sec. 7.1)",
+                     "small chunks: many device mallocs; large: fragmentation",
+                     {"vars", "cons", "triangles"});
   {
     const pta::ConstraintSet cs = pta::synthetic_program(
-        static_cast<std::uint32_t>(args.get_int("vars", 4000)),
-        static_cast<std::uint32_t>(args.get_int("cons", 5000)), 31);
+        static_cast<std::uint32_t>(bench.args().get_positive_int("vars",
+                                                                 4000)),
+        static_cast<std::uint32_t>(bench.args().get_positive_int("cons",
+                                                                 5000)),
+        31);
     Table t({"chunk elems", "device mallocs", "bytes allocated x1e6",
              "model-ms", "edges added"});
     for (std::uint32_t chunk : {128u, 512u, 1024u, 2048u, 4096u}) {
-      gpu::Device dev(bench::device_config(args));
+      gpu::Device dev(bench.device_config());
       pta::PtaOptions opts;
       opts.chunk_elems = chunk;
       pta::PtaStats st;
       pta::solve_gpu(cs, dev, opts, &st);
       t.add_row({std::to_string(chunk), std::to_string(st.device_mallocs),
                  Table::num(dev.stats().bytes_allocated / 1e6, 2),
-                 bench::fmt_ms(bench::model_ms(st.modeled_cycles)),
+                 bench.fmt_ms(bench.model_ms(st.modeled_cycles)),
                  std::to_string(st.edges_added)});
+
+      auto& rep = bench.add_row("chunk/" + std::to_string(chunk));
+      bench.add_device_metrics(rep, dev);
+      rep.metric("edges_added", static_cast<double>(st.edges_added));
     }
     t.print(std::cout);
   }
 
-  bench::header("Ablation — DMR deletion & allocation strategies (Sec. 7.2)",
+  bench.section("Ablation — DMR deletion & allocation strategies (Sec. 7.2)",
                 "recycling trades compaction for slot reuse; prealloc "
                 "avoids reallocs at a memory cost");
   {
-    const std::size_t n =
-        static_cast<std::size_t>(args.get_int("triangles", 50000));
+    const std::size_t n = static_cast<std::size_t>(
+        bench.args().get_positive_int("triangles", 50000));
     dmr::Mesh base = dmr::generate_input_mesh(n, 33);
     Table t({"variant", "model-ms", "final slots", "live tris",
              "reallocs", "bytes alloc x1e6"});
@@ -57,19 +64,24 @@ int main(int argc, char** argv) {
     };
     for (const V& v : variants) {
       dmr::Mesh m = base;
-      gpu::Device dev(bench::device_config(args));
+      gpu::Device dev(bench.device_config());
       dmr::RefineOptions opts;
       opts.recycle = v.recycle;
       opts.prealloc = v.prealloc;
       const dmr::RefineStats st = dmr::refine_gpu(m, dev, opts);
-      t.add_row({v.name, bench::fmt_ms(bench::model_ms(st.modeled_cycles)),
+      t.add_row({v.name, bench.fmt_ms(bench.model_ms(st.modeled_cycles)),
                  std::to_string(m.num_slots()), std::to_string(m.num_live()),
                  std::to_string(dev.stats().reallocs),
                  Table::num(dev.stats().bytes_allocated / 1e6, 1)});
+
+      auto& rep = bench.add_row(std::string("dmr/") + v.name);
+      bench.add_device_metrics(rep, dev);
+      rep.metric("final_slots", static_cast<double>(m.num_slots()))
+          .metric("live_tris", static_cast<double>(m.num_live()));
     }
     t.print(std::cout);
     std::cout << "\n(recycling keeps the slot array near the live count; "
                  "mark-only leaves tombstones)\n";
   }
-  return 0;
+  return bench.finish();
 }

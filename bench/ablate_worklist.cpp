@@ -12,38 +12,52 @@
 
 int main(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
-  const std::size_t n =
-      static_cast<std::size_t>(args.get_int("triangles", 50000));
+  bench::Bench bench(
+      argc, argv,
+      "Ablation — topology-driven vs data-driven DMR (Sec. 7.5)",
+      "the centralized worklist pays an atomic per push/pop", {"triangles"});
+  const std::size_t n = static_cast<std::size_t>(
+      bench.args().get_positive_int("triangles", 50000));
   dmr::Mesh base = dmr::generate_input_mesh(n, 27);
-
-  bench::header("Ablation — topology-driven vs data-driven DMR (Sec. 7.5)",
-                "the centralized worklist pays an atomic per push/pop");
 
   Table t({"driver", "model-ms", "rounds", "processed", "abort-ratio",
            "atomics x1e3", "bad after"});
   {
     dmr::Mesh m = base;
-    gpu::Device dev(bench::device_config(args));
+    gpu::Device dev(bench.device_config());
     const dmr::RefineStats st = dmr::refine_gpu(m, dev);
+    const std::size_t bad_after = m.compute_all_bad(30.0);
     t.add_row({"topology-driven (local chunks)",
-               bench::fmt_ms(bench::model_ms(st.modeled_cycles)),
+               bench.fmt_ms(bench.model_ms(st.modeled_cycles)),
                std::to_string(st.rounds), std::to_string(st.processed),
                Table::num(st.abort_ratio(), 2),
                Table::num(dev.stats().atomics / 1e3, 1),
-               std::to_string(m.compute_all_bad(30.0))});
+               std::to_string(bad_after)});
+    auto& rep = bench.add_row("topology-driven");
+    bench.add_device_metrics(rep, dev);
+    rep.metric("rounds", static_cast<double>(st.rounds))
+        .metric("processed", static_cast<double>(st.processed))
+        .metric("abort_ratio", st.abort_ratio())
+        .metric("bad_after", static_cast<double>(bad_after));
   }
   {
     dmr::Mesh m = base;
-    gpu::Device dev(bench::device_config(args));
+    gpu::Device dev(bench.device_config());
     const dmr::RefineStats st = dmr::refine_gpu_datadriven(m, dev);
+    const std::size_t bad_after = m.compute_all_bad(30.0);
     t.add_row({"data-driven (central worklist)",
-               bench::fmt_ms(bench::model_ms(st.modeled_cycles)),
+               bench.fmt_ms(bench.model_ms(st.modeled_cycles)),
                std::to_string(st.rounds), std::to_string(st.processed),
                Table::num(st.abort_ratio(), 2),
                Table::num(dev.stats().atomics / 1e3, 1),
-               std::to_string(m.compute_all_bad(30.0))});
+               std::to_string(bad_after)});
+    auto& rep = bench.add_row("data-driven");
+    bench.add_device_metrics(rep, dev);
+    rep.metric("rounds", static_cast<double>(st.rounds))
+        .metric("processed", static_cast<double>(st.processed))
+        .metric("abort_ratio", st.abort_ratio())
+        .metric("bad_after", static_cast<double>(bad_after));
   }
   t.print(std::cout);
-  return 0;
+  return bench.finish();
 }

@@ -14,13 +14,12 @@
 int main(int argc, char** argv) {
   using namespace morph;
   using graph::CsrGraph;
-  CliArgs args(argc, argv);
-  const std::uint32_t scale =
-      static_cast<std::uint32_t>(args.get_int("scale", 64));
-
-  bench::header("Fig. 11 — Boruvka MST",
-                "GPU slower than Galois 2.1.4 on sparse road/grid, far "
-                "faster on dense RMAT/random; 2.1.5 fastest");
+  bench::Bench bench(argc, argv, "Fig. 11 — Boruvka MST",
+                     "GPU slower than Galois 2.1.4 on sparse road/grid, far "
+                     "faster on dense RMAT/random; 2.1.5 fastest",
+                     {"scale"});
+  const auto scale =
+      static_cast<std::uint32_t>(bench.args().get_positive_int("scale", 64));
 
   struct Spec {
     std::string name;
@@ -75,7 +74,7 @@ int main(int argc, char** argv) {
     auto g = CsrGraph::from_undirected_edges(s.n, s.edges);
 
     const mst::MstResult kr = mst::mst_kruskal(g);
-    gpu::Device dev(bench::device_config(args));
+    gpu::Device dev(bench.device_config());
     const mst::MstResult gp = mst::mst_gpu(g, dev);
     cpu::ParallelRunner r1({.workers = 48}), r2({.workers = 48});
     const mst::MstResult em = mst::mst_edge_merge(g, r1);
@@ -86,11 +85,19 @@ int main(int argc, char** argv) {
                        uf.total_weight == kr.total_weight;
     t.add_row({s.name, Table::num(s.n * scale / 1e6, 1),
                Table::num(g.num_edges() / 2.0 * scale / 1e6, 1),
-               bench::fmt_ms(bench::model_ms(em.modeled_cycles)),
-               bench::fmt_ms(bench::model_ms(uf.modeled_cycles)),
-               bench::fmt_ms(bench::model_ms(gp.modeled_cycles)),
+               bench.fmt_ms(bench.model_ms(em.modeled_cycles)),
+               bench.fmt_ms(bench.model_ms(uf.modeled_cycles)),
+               bench.fmt_ms(bench.model_ms(gp.modeled_cycles)),
                agree ? "yes" : "NO"});
+
+    auto& rep = bench.add_row(s.name);
+    bench.add_device_metrics(rep, dev);
+    rep.metric("nodes", static_cast<double>(s.n))
+        .metric("edges", g.num_edges() / 2.0)
+        .metric("galois214_model_ms", bench.model_ms(em.modeled_cycles))
+        .metric("galois215_model_ms", bench.model_ms(uf.modeled_cycles))
+        .metric("weights_agree", agree ? 1.0 : 0.0);
   }
   t.print(std::cout);
-  return 0;
+  return bench.finish();
 }

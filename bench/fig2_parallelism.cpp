@@ -13,12 +13,13 @@
 
 int main(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
+  bench::Bench bench(argc, argv, "Fig. 2 — DMR parallelism profile",
+                     "available parallelism rises to a peak, then decays",
+                     {"triangles", "scale"});
   const std::size_t triangles =
-      static_cast<std::size_t>(args.get_int("triangles", 100000)) /
-      static_cast<std::size_t>(args.get_int("scale", 4));
-  bench::header("Fig. 2 — DMR parallelism profile",
-                "available parallelism rises to a peak, then decays");
+      static_cast<std::size_t>(bench.args().get_positive_int("triangles",
+                                                             100000)) /
+      static_cast<std::size_t>(bench.args().get_positive_int("scale", 4));
 
   dmr::Mesh m = dmr::generate_input_mesh(triangles, 42);
   m.compute_all_bad(30.0);
@@ -52,10 +53,15 @@ int main(int argc, char** argv) {
     if (round == 0) first = applied;
     peak = std::max(peak, applied);
     t.add_row({std::to_string(round), std::to_string(applied)});
+    bench.add_row("step " + std::to_string(round))
+        .metric("parallelism", static_cast<double>(applied));
   }
   t.print(std::cout);
   std::cout << "\ninitial=" << first << " peak=" << peak
             << "  (paper: ~5,000 initial, >7,000 peak on 100K triangles; "
                "shape: rise then decay)\n";
-  return 0;
+  bench.add_row("summary")
+      .metric("initial", static_cast<double>(first))
+      .metric("peak", static_cast<double>(peak));
+  return bench.finish();
 }

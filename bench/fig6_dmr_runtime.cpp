@@ -13,14 +13,14 @@
 
 int main(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
-  const std::size_t scale =
-      static_cast<std::size_t>(args.get_int("scale", 10));
+  bench::Bench bench(argc, argv,
+                     "Fig. 6 — DMR runtime: GPU vs Triangle vs Galois",
+                     "GPU line sits below Galois at every thread count",
+                     {"scale"});
+  const auto scale =
+      static_cast<std::size_t>(bench.args().get_positive_int("scale", 10));
   const std::size_t paper_sizes[] = {500000, 1000000, 2000000, 10000000};
   const std::uint32_t thread_counts[] = {1, 4, 16, 48};
-
-  bench::header("Fig. 6 — DMR runtime: GPU vs Triangle vs Galois",
-                "GPU line sits below Galois at every thread count");
 
   Table t({"input (paper)", "triangles", "bad", "serial model-ms",
            "galois-1", "galois-4", "galois-16", "galois-48", "GPU model-ms",
@@ -33,31 +33,41 @@ int main(int argc, char** argv) {
     dmr::Mesh ms = base;
     cpu::ParallelRunner seq({.workers = 1});
     dmr::refine_multicore(ms, seq);
-    const double serial_ms = bench::model_ms(seq.stats().modeled_cycles);
+    const double serial_ms = bench.model_ms(seq.stats().modeled_cycles);
 
     std::vector<std::string> row = {
         std::to_string(paper_n / 1000000.0).substr(0, 4) + "M/" +
             std::to_string(scale),
         std::to_string(base.num_live()), "", ""};
     dmr::Mesh tmp = base;
-    row[2] = std::to_string(tmp.compute_all_bad(30.0));
-    row[3] = bench::fmt_ms(serial_ms);
+    const std::size_t bad = tmp.compute_all_bad(30.0);
+    row[2] = std::to_string(bad);
+    row[3] = bench.fmt_ms(serial_ms);
+
+    auto& rep = bench.add_row(row[0]);
+    rep.metric("triangles", static_cast<double>(base.num_live()))
+        .metric("bad", static_cast<double>(bad))
+        .metric("serial_model_ms", serial_ms);
 
     for (std::uint32_t workers : thread_counts) {
       dmr::Mesh m = base;
       cpu::ParallelRunner runner({.workers = workers});
       dmr::refine_multicore(m, runner);
-      row.push_back(bench::fmt_ms(bench::model_ms(runner.stats().modeled_cycles)));
+      const double ms_galois = bench.model_ms(runner.stats().modeled_cycles);
+      row.push_back(bench.fmt_ms(ms_galois));
+      rep.metric("galois" + std::to_string(workers) + "_model_ms", ms_galois);
     }
 
     dmr::Mesh mg = base;
-    gpu::Device dev(bench::device_config(args));
+    gpu::Device dev(bench.device_config());
     const dmr::RefineStats gs = dmr::refine_gpu(mg, dev);
-    row.push_back(bench::fmt_ms(bench::model_ms(gs.modeled_cycles)));
+    row.push_back(bench.fmt_ms(bench.model_ms(gs.modeled_cycles)));
     row.push_back(Table::num(gs.wall_seconds, 2));
     t.add_row(row);
+    bench.add_device_metrics(rep, dev);
+    rep.metric("wall_seconds", gs.wall_seconds);
   }
   t.print(std::cout);
   std::cout << "\n(paper: GPU 2-4x faster than Galois-48 on all sizes)\n";
-  return 0;
+  return bench.finish();
 }

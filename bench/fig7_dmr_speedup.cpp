@@ -10,13 +10,12 @@
 
 int main(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
-  const std::size_t scale =
-      static_cast<std::size_t>(args.get_int("scale", 10));
+  bench::Bench bench(argc, argv, "Fig. 7 — DMR speedups over sequential",
+                     "paper: Galois-48 26.5-28.6x, GPU 54.6-80.5x",
+                     {"scale"});
+  const auto scale =
+      static_cast<std::size_t>(bench.args().get_positive_int("scale", 10));
   const std::size_t paper_sizes[] = {500000, 1000000, 2000000, 10000000};
-
-  bench::header("Fig. 7 — DMR speedups over sequential",
-                "paper: Galois-48 26.5-28.6x, GPU 54.6-80.5x");
 
   Table t({"total x1e6 (paper)", "bad x1e6", "speedup Galois-48",
            "speedup GPU"});
@@ -37,13 +36,21 @@ int main(int argc, char** argv) {
     const double galois = g48.stats().modeled_cycles;
 
     dmr::Mesh mg = base;
-    gpu::Device dev(bench::device_config(args));
+    gpu::Device dev(bench.device_config());
     dmr::refine_gpu(mg, dev);
     const double gpu = dev.stats().modeled_cycles;
 
     t.add_row({Table::num(paper_n / 1e6, 1), Table::num(bad * scale / 1e6, 2),
                Table::num(serial / galois, 1), Table::num(serial / gpu, 1)});
+
+    auto& rep = bench.add_row(Table::num(paper_n / 1e6, 1) + "M");
+    bench.add_device_metrics(rep, dev);
+    rep.metric("bad", static_cast<double>(bad))
+        .metric("serial_modeled_cycles", serial)
+        .metric("galois48_modeled_cycles", galois)
+        .metric("speedup_galois48", serial / galois)
+        .metric("speedup_gpu", serial / gpu);
   }
   t.print(std::cout);
-  return 0;
+  return bench.finish();
 }

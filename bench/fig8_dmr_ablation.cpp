@@ -18,14 +18,14 @@
 
 int main(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
+  bench::Bench bench(argc, argv, "Fig. 8 — DMR optimization ladder",
+                     "each row adds one optimization; row 8 trades a little "
+                     "time for on-demand allocation",
+                     {"triangles", "scale"});
   const std::size_t n =
-      static_cast<std::size_t>(args.get_int("triangles", 10000000)) /
-      static_cast<std::size_t>(args.get_int("scale", 50));
-
-  bench::header("Fig. 8 — DMR optimization ladder",
-                "each row adds one optimization; row 8 trades a little time "
-                "for on-demand allocation");
+      static_cast<std::size_t>(bench.args().get_positive_int("triangles",
+                                                             10000000)) /
+      static_cast<std::size_t>(bench.args().get_positive_int("scale", 50));
 
   struct Row {
     const char* label;
@@ -63,14 +63,20 @@ int main(int argc, char** argv) {
            "device MB allocated"});
   for (const Row& r : rows) {
     dmr::Mesh m = base;
-    gpu::Device dev(bench::device_config(args));
+    gpu::Device dev(bench.device_config());
     const dmr::RefineStats st = dmr::refine_gpu(m, dev, r.opts);
     MORPH_CHECK(m.compute_all_bad(30.0) == 0);
-    t.add_row({r.label, bench::fmt_ms(bench::model_ms(st.modeled_cycles)),
+    t.add_row({r.label, bench.fmt_ms(bench.model_ms(st.modeled_cycles)),
                Table::num(st.wall_seconds, 2), std::to_string(st.rounds),
                Table::num(st.abort_ratio(), 2),
                Table::num(dev.stats().bytes_allocated / 1.0e6, 1)});
+
+    auto& rep = bench.add_row(r.label);
+    bench.add_device_metrics(rep, dev);
+    rep.metric("wall_seconds", st.wall_seconds)
+        .metric("rounds", static_cast<double>(st.rounds))
+        .metric("abort_ratio", st.abort_ratio());
   }
   t.print(std::cout);
-  return 0;
+  return bench.finish();
 }

@@ -19,13 +19,13 @@
 
 int main(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
-  const std::uint32_t scale =
-      static_cast<std::uint32_t>(args.get_int("scale", 100));
-
-  bench::header("Fig. 9 — Survey Propagation (fixed 90-sweep workload)",
-                "GPU ~3x over Galois-48 at K=3; multicore blows up for K>=4 "
-                "(OOT at K=6)");
+  bench::Bench bench(argc, argv,
+                     "Fig. 9 — Survey Propagation (fixed 90-sweep workload)",
+                     "GPU ~3x over Galois-48 at K=3; multicore blows up for "
+                     "K>=4 (OOT at K=6)",
+                     {"scale"});
+  const auto scale =
+      static_cast<std::uint32_t>(bench.args().get_positive_int("scale", 100));
 
   struct RowSpec {
     std::uint32_t n_paper;  // literals, paper scale
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     const auto m = static_cast<std::uint32_t>(ratio * n);
     auto f = sp::random_ksat(n, m, r.k, 17);
 
-    gpu::Device dev(bench::device_config(args));
+    gpu::Device dev(bench.device_config());
     const sp::SpResult rg = sp::solve_gpu(f, dev, base);
 
     // Multicore slice: one sweep, scaled to the GPU run's sweep count.
@@ -70,13 +70,21 @@ int main(int argc, char** argv) {
     const bool oot = speed_ratio > 50.0;
     t.add_row({Table::num(ratio * r.n_paper / 1e6, 1),
                Table::num(r.n_paper / 1e6, 0), std::to_string(r.k),
-               oot ? "OOT (" + bench::fmt_ms(bench::model_ms(mc_scaled)) + ")"
-                   : bench::fmt_ms(bench::model_ms(mc_scaled)),
-               bench::fmt_ms(bench::model_ms(rg.modeled_cycles)),
+               oot ? "OOT (" + bench.fmt_ms(bench.model_ms(mc_scaled)) + ")"
+                   : bench.fmt_ms(bench.model_ms(mc_scaled)),
+               bench.fmt_ms(bench.model_ms(rg.modeled_cycles)),
                Table::num(speed_ratio, 1), Table::num(rg.wall_seconds, 2)});
+
+    auto& rep = bench.add_row("N" + Table::num(r.n_paper / 1e6, 0) + "M/K" +
+                              std::to_string(r.k));
+    bench.add_device_metrics(rep, dev);
+    rep.metric("galois48_modeled_cycles", mc_scaled)
+        .metric("ratio", speed_ratio)
+        .metric("oot", oot ? 1.0 : 0.0)
+        .metric("wall_seconds", rg.wall_seconds);
   }
   t.print(std::cout);
   std::cout << "\n(ratio = Galois-48 / GPU modeled time; paper: ~3x at K=3, "
                "36x at K=4, 229x at K=5, OOT at K=6)\n";
-  return 0;
+  return bench.finish();
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs every bench at fast (CI-sized) settings with --json and consolidates
+# the reports into BENCH_<date>.json via `morph-report merge`. Check the
+# output file in to track the modeled-performance trajectory of the repo;
+# `morph-report diff BENCH_old.json BENCH_new.json` gates regressions.
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_$(date +%F).json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# bench -> fast arguments (micro_primitives is google-benchmark and has its
+# own JSON output; it is not part of the snapshot).
+benches=(
+  "fig2_parallelism --scale=16"
+  "fig6_dmr_runtime --scale=64"
+  "fig7_dmr_speedup --scale=64"
+  "fig8_dmr_ablation --scale=400"
+  "fig9_sp --scale=400"
+  "fig10_pta"
+  "fig11_mst --scale=256"
+  "ablate_conflict --scale=8"
+  "ablate_memory --triangles=10000 --vars=2000 --cons=2500"
+  "ablate_pushpull"
+  "ablate_worklist --triangles=10000"
+)
+
+reports=()
+for spec in "${benches[@]}"; do
+  set -- $spec
+  name="$1"; shift
+  echo "== $name $* =="
+  "$BUILD/bench/$name" "$@" --json="$TMP/$name.json" > /dev/null
+  reports+=("$TMP/$name.json")
+done
+
+"$BUILD"/tools/morph-report merge "$OUT" "${reports[@]}"
+echo "snapshot written to $OUT"

@@ -18,6 +18,13 @@ cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
+echo "== tier 1: telemetry smoke (bench report determinism) =="
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+"$BUILD"/bench/fig6_dmr_runtime --scale=64 --json="$SMOKE/a.json" > /dev/null
+"$BUILD"/bench/fig6_dmr_runtime --scale=64 --json="$SMOKE/b.json" > /dev/null
+"$BUILD"/tools/morph-report diff "$SMOKE/a.json" "$SMOKE/b.json"
+
 if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread - -o /dev/null 2>/dev/null; then
   echo "== tier 1: TSan build + ctest -L 'gpu|core|dmr' =="
   cmake -B "$TSAN_BUILD" -S . -DMORPH_TSAN=ON

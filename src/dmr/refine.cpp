@@ -510,6 +510,8 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
     dev.launch_phases(lc, phases, opts.barrier);
     st.processed += round_processed;
     st.aborted += round_aborted;
+    dev.note_counter("worklist.occupancy",
+                     static_cast<double>(worklist.size()));
 
     // Refill sweep when pushes were dropped or the queue ran dry while bad
     // triangles remain (also the live-lock escape: the refill reorders).

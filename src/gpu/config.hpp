@@ -12,6 +12,10 @@
 
 #include "support/check.hpp"
 
+namespace morph::telemetry {
+class TraceSink;
+}
+
 namespace morph::gpu {
 
 /// Flavours of intra-kernel global barrier (paper Sec. 7.3, "Barrier
@@ -46,6 +50,12 @@ struct DeviceConfig {
   double alloc_overhead = 2000.0;    ///< per cudaMalloc-style allocation
   double copy_cost_per_byte = 0.002; ///< realloc / explicit transfer copies
 
+  /// Nominal device clock used to express modeled cycles as seconds — the
+  /// single source of truth for every "model-ms" column and JSON report
+  /// (1 GHz matches the paper-era Fermi ballpark). Purely a display/export
+  /// scale: it never feeds back into the cost model.
+  double clock_ghz = 1.0;
+
   std::uint64_t shared_mem_bytes = 48 * 1024;  ///< per block (48 KB config)
 
   /// Number of host worker threads used to execute blocks. 0 means "auto":
@@ -60,6 +70,11 @@ struct DeviceConfig {
   /// order instead of ascending id, to exercise order-independence.
   bool shuffle_threads = false;
   std::uint64_t shuffle_seed = 1;
+
+  /// Telemetry event sink (telemetry/trace.hpp); null disables collection
+  /// entirely — a disabled device takes one branch per launch and its
+  /// modeled statistics are bit-identical to a build without telemetry.
+  telemetry::TraceSink* trace = nullptr;
 
   /// Total concurrently resident warps (device-wide occupancy bound).
   double warp_slots() const {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "support/rng.hpp"
+#include "telemetry/trace.hpp"
 
 namespace morph::gpu {
 
@@ -19,7 +20,11 @@ std::uint32_t resolve_host_workers(std::uint32_t requested) {
 }  // namespace
 
 Device::Device(DeviceConfig cfg)
-    : cfg_(cfg), pool_(resolve_host_workers(cfg.host_workers)) {}
+    : cfg_(cfg), pool_(resolve_host_workers(cfg.host_workers)) {
+  if (cfg_.trace) {
+    trace_device_ = cfg_.trace->register_device(pool_.workers());
+  }
+}
 
 KernelStats Device::launch(const LaunchConfig& lc, const KernelFn& fn) {
   const KernelFn phases[1] = {fn};
@@ -54,11 +59,34 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
   return launch_phases(lc, std::span<const Phase>(specs), barrier);
 }
 
+namespace {
+
+const char* barrier_label(BarrierKind kind) {
+  switch (kind) {
+    case BarrierKind::kNaiveAtomic: return "barrier/naive-atomic";
+    case BarrierKind::kHierarchical: return "barrier/hierarchical";
+    case BarrierKind::kLockFree: return "barrier/lock-free";
+  }
+  return "barrier";
+}
+
+}  // namespace
+
 KernelStats Device::launch_phases(const LaunchConfig& lc,
                                   std::span<const Phase> phases,
                                   BarrierKind barrier) {
   lc.validate();
   MORPH_CHECK(!phases.empty());
+
+  // Telemetry is dormant unless a sink is attached; all event timestamps are
+  // modeled cycles (the launch starts where the device's accumulated cycles
+  // left off), never wall clock, so traces are deterministic.
+  telemetry::TraceSink* const sink = cfg_.trace;
+  const bool trace_blocks = sink && sink->block_spans();
+  const auto launch_ord = static_cast<std::uint32_t>(stats_.launches);
+  const double launch_start = stats_.modeled_cycles;
+  const double barrier_cost = barrier_cycles(barrier, lc);
+  double phase_ts = launch_start + cfg_.kernel_launch_overhead;
 
   const std::uint64_t total_threads = lc.total_threads();
   const std::uint32_t warps_per_block =
@@ -95,7 +123,8 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
   std::vector<BlockAcc> acc(lc.blocks);
 
   double compute_cycles = 0.0;
-  for (const Phase& phase : phases) {
+  for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+    const Phase& phase = phases[pi];
     std::fill(acc.begin(), acc.end(), BlockAcc{});
 
     const auto run_block = [&](std::uint64_t b) {
@@ -120,6 +149,25 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
         wm = std::max(wm, ctx.work_);
       }
       for (std::uint64_t wm : warp_max) a.warp_steps += wm;
+
+      // Recorded from the executing host worker into its own ring; the
+      // flush order is deterministic regardless of which worker ran b.
+      if (trace_blocks) {
+        telemetry::TraceEvent ev;
+        ev.kind = telemetry::EventKind::kBlock;
+        ev.device = trace_device_;
+        ev.launch = launch_ord;
+        ev.phase = static_cast<std::uint32_t>(pi);
+        ev.block = static_cast<std::uint32_t>(b);
+        ev.track = static_cast<std::uint32_t>(b % cfg_.num_sms);
+        ev.name = "block";
+        ev.work = a.work;
+        ev.warp_steps = a.warp_steps;
+        ev.atomics = a.atomics;
+        ev.global_accesses = a.mem;
+        ev.dur_cycles = static_cast<double>(a.warp_steps) * cfg_.step_cost;
+        sink->record(ThreadPool::current_worker(), std::move(ev));
+      }
     };
 
     if (phase.sequential) {
@@ -145,22 +193,95 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
 
     // Makespan of this phase: warp steps spread over the device's resident
     // warp slots (but never better than the slowest warp), plus serialized
-    // atomic and memory surcharges.
+    // atomic and memory surcharges. The three terms are accumulated into
+    // compute_cycles one at a time, exactly as before telemetry existed, so
+    // modeled_cycles stays bit-identical whether or not a sink is attached.
     const double concurrency =
         std::min(cfg_.warp_slots(), static_cast<double>(total_warps));
     const double steps = static_cast<double>(ph.warp_steps);
-    compute_cycles += steps * cfg_.step_cost / std::max(concurrency, 1.0);
-    compute_cycles += static_cast<double>(ph.atomics) * cfg_.atomic_cost /
-                      cfg_.atomic_concurrency;
-    compute_cycles += static_cast<double>(ph.mem) * cfg_.global_mem_cost /
-                      std::min(cfg_.mem_concurrency, concurrency);
+    const double step_cycles =
+        steps * cfg_.step_cost / std::max(concurrency, 1.0);
+    const double atomic_cycles = static_cast<double>(ph.atomics) *
+                                 cfg_.atomic_cost / cfg_.atomic_concurrency;
+    const double mem_cycles = static_cast<double>(ph.mem) *
+                              cfg_.global_mem_cost /
+                              std::min(cfg_.mem_concurrency, concurrency);
+    compute_cycles += step_cycles;
+    compute_cycles += atomic_cycles;
+    compute_cycles += mem_cycles;
+
+    if (sink) {
+      telemetry::TraceEvent ev;
+      ev.kind = telemetry::EventKind::kPhase;
+      ev.device = trace_device_;
+      ev.launch = launch_ord;
+      ev.phase = static_cast<std::uint32_t>(pi);
+      ev.seq = trace_seq_++;
+      ev.name = "phase " + std::to_string(pi);
+      ev.ts_cycles = phase_ts;
+      ev.dur_cycles = step_cycles + atomic_cycles + mem_cycles;
+      ev.work = ph.work;
+      ev.warp_steps = ph.warp_steps;
+      ev.atomics = ph.atomics;
+      ev.global_accesses = ph.mem;
+      phase_ts += ev.dur_cycles;
+      sink->record(0, std::move(ev));
+      if (pi + 1 < phases.size()) {
+        telemetry::TraceEvent bev;
+        bev.kind = telemetry::EventKind::kBarrier;
+        bev.device = trace_device_;
+        bev.launch = launch_ord;
+        bev.phase = static_cast<std::uint32_t>(pi);
+        bev.seq = trace_seq_++;
+        bev.name = barrier_label(barrier);
+        bev.ts_cycles = phase_ts;
+        bev.dur_cycles = barrier_cost;
+        phase_ts += barrier_cost;
+        sink->record(0, std::move(bev));
+      }
+    }
   }
 
   ks.modeled_cycles = cfg_.kernel_launch_overhead + compute_cycles +
-                      static_cast<double>(phases.size() - 1) *
-                          barrier_cycles(barrier, lc);
+                      static_cast<double>(phases.size() - 1) * barrier_cost;
+
+  if (sink) {
+    telemetry::TraceEvent ev;
+    ev.kind = telemetry::EventKind::kLaunch;
+    ev.device = trace_device_;
+    ev.launch = launch_ord;
+    ev.seq = trace_seq_++;
+    ev.name = "launch " + std::to_string(lc.blocks) + "x" +
+              std::to_string(lc.threads_per_block);
+    ev.ts_cycles = launch_start;
+    ev.dur_cycles = ks.modeled_cycles;
+    ev.work = ks.total_work;
+    ev.warp_steps = ks.warp_steps;
+    ev.atomics = ks.atomics;
+    ev.global_accesses = ks.global_accesses;
+    sink->record(0, std::move(ev));
+  }
   stats_.absorb(ks);
+  if (sink) {
+    note_counter("device.bytes_allocated",
+                 static_cast<double>(stats_.bytes_allocated));
+    note_counter("device.bytes_copied",
+                 static_cast<double>(stats_.bytes_copied));
+  }
   return ks;
+}
+
+void Device::note_counter(const std::string& name, double value) {
+  if (!cfg_.trace) return;
+  telemetry::TraceEvent ev;
+  ev.kind = telemetry::EventKind::kCounter;
+  ev.device = trace_device_;
+  ev.launch = static_cast<std::uint32_t>(stats_.launches);
+  ev.seq = trace_seq_++;
+  ev.name = name;
+  ev.ts_cycles = stats_.modeled_cycles;
+  ev.value = value;
+  cfg_.trace->record(0, std::move(ev));
 }
 
 void Device::note_host_alloc(std::uint64_t bytes) {

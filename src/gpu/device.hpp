@@ -25,11 +25,18 @@
 // marked Phase::sequential: they run blocks in ascending order on one host
 // thread, which keeps whole-algorithm runs deterministic (see DESIGN.md,
 // "Block-parallel execution").
+//
+// When DeviceConfig::trace points at a telemetry::TraceSink, every launch,
+// phase, and barrier (and optionally every block execution) is recorded as
+// a structured event on the modeled-cycle timeline; see docs/TELEMETRY.md.
+// With the sink unset, collection costs one branch per launch and the
+// modeled statistics are bit-identical to an untraced run.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "gpu/config.hpp"
@@ -119,7 +126,13 @@ class Device {
                             BarrierKind barrier = BarrierKind::kHierarchical);
 
   const DeviceStats& stats() const { return stats_; }
+  /// Also rewinds the telemetry timestamp cursor (trace timestamps are the
+  /// accumulated modeled cycles).
   void reset_stats() { stats_ = DeviceStats{}; }
+
+  /// Records a named counter sample (e.g. worklist occupancy) on the trace
+  /// at the current modeled-cycle timestamp. No-op when tracing is off.
+  void note_counter(const std::string& name, double value);
 
   // --- memory accounting hooks (used by DeviceBuffer / DeviceHeap) ---
   void note_host_alloc(std::uint64_t bytes);
@@ -134,6 +147,8 @@ class Device {
   DeviceConfig cfg_;
   DeviceStats stats_;
   ThreadPool pool_;
+  std::uint32_t trace_device_ = 0;  ///< ordinal in the attached TraceSink
+  std::uint64_t trace_seq_ = 0;     ///< tiebreaker for serially recorded events
 };
 
 }  // namespace morph::gpu

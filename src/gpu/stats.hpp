@@ -45,6 +45,13 @@ struct DeviceStats {
   std::uint64_t bytes_allocated = 0;
   std::uint64_t bytes_copied = 0;    ///< host<->device + realloc copies
 
+  /// Whole-run SIMD inefficiency, same definition as KernelStats::divergence.
+  double divergence(std::uint32_t warp_size) const {
+    if (total_work == 0) return 1.0;
+    return static_cast<double>(warp_steps) * warp_size /
+           static_cast<double>(total_work);
+  }
+
   void absorb(const KernelStats& k) {
     ++launches;
     barriers += (k.phases > 0 ? k.phases - 1 : 0);

@@ -4,11 +4,21 @@
 
 namespace morph {
 
+namespace {
+// 1-based pool-worker index of the current thread; 0 outside any pool.
+thread_local std::uint32_t tls_pool_worker = 0;
+}  // namespace
+
+std::uint32_t ThreadPool::current_worker() { return tls_pool_worker; }
+
 ThreadPool::ThreadPool(std::uint32_t workers) : worker_count_(workers) {
   if (worker_count_ <= 1) return;  // inline mode
   threads_.reserve(worker_count_);
   for (std::uint32_t i = 0; i < worker_count_; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] {
+      tls_pool_worker = i + 1;
+      worker_loop();
+    });
   }
 }
 

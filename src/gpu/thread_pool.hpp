@@ -29,6 +29,12 @@ class ThreadPool {
 
   std::uint32_t workers() const { return worker_count_; }
 
+  /// Index of the pool worker executing the calling thread: 1..workers() on
+  /// pool threads, 0 on any other thread (including the caller of run_all,
+  /// which executes tasks itself in inline mode). Telemetry uses this to
+  /// pick the per-worker event ring.
+  static std::uint32_t current_worker();
+
   /// Runs `n` tasks f(0..n-1) across the pool and blocks until all complete.
   /// Tasks must not themselves call run_all on the same pool.
   void run_all(std::uint64_t n, const std::function<void(std::uint64_t)>& f);

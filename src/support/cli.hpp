@@ -2,13 +2,16 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace morph {
 
 /// Parses flags of the form --name=value (or bare --name, meaning "1").
-/// Positional arguments are collected in order.
+/// Positional (non-flag) arguments are collected in order.
 class CliArgs {
  public:
   CliArgs(int argc, char** argv);
@@ -19,10 +22,31 @@ class CliArgs {
   double get_double(const std::string& name, double dflt) const;
   bool get_bool(const std::string& name, bool dflt) const;
 
+  /// Strict variant for size/scale flags: the flag must parse completely as
+  /// an integer and be strictly positive. Returns nullopt on a malformed or
+  /// non-positive value (and the default when the flag is absent).
+  std::optional<std::int64_t> try_get_positive_int(const std::string& name,
+                                                   std::int64_t dflt) const;
+
+  /// try_get_positive_int, but a bad value prints a clear error to stderr
+  /// and exits with status 2 — benches use this so `--scale=0` (which would
+  /// divide workload sizes by zero) fails loudly instead of garbling sizes.
+  std::int64_t get_positive_int(const std::string& name,
+                                std::int64_t dflt) const;
+
+  /// Warns on every parsed flag not in `known` (so typos like
+  /// `--host-worker=4` don't silently no-op), suggesting the closest known
+  /// flag when one is within small edit distance. Returns the number of
+  /// unknown flags.
+  std::size_t warn_unknown(const std::vector<std::string>& known,
+                           std::ostream& err) const;
+
   const std::map<std::string, std::string>& flags() const { return flags_; }
+  const std::vector<std::string>& positional() const { return positional_; }
 
  private:
   std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
 };
 
 /// Number of host worker threads drivers use when --host-workers is absent:

@@ -1,0 +1,126 @@
+#include "telemetry/bench_report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace morph::telemetry {
+
+BenchReport::Row& BenchReport::Row::metric(const std::string& key,
+                                           double value) {
+  for (auto& [k, v] : metrics) {
+    if (k == key) {
+      v = value;
+      return *this;
+    }
+  }
+  metrics.emplace_back(key, value);
+  return *this;
+}
+
+const double* BenchReport::Row::find(const std::string& key) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+BenchReport::Row& BenchReport::add_row(const std::string& name) {
+  rows.push_back(Row{name, {}});
+  return rows.back();
+}
+
+const BenchReport::Row* BenchReport::find_row(const std::string& name) const {
+  for (const Row& r : rows) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+Json BenchReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", kSchemaName);
+  doc.set("version", kSchemaVersion);
+  doc.set("bench", bench);
+  doc.set("title", title);
+  doc.set("clock_ghz", clock_ghz);
+  Json jargs = Json::object();
+  for (const auto& [k, v] : args) jargs.set(k, v);
+  doc.set("args", std::move(jargs));
+  Json jrows = Json::array();
+  for (const Row& r : rows) {
+    Json jr = Json::object();
+    jr.set("name", r.name);
+    Json jm = Json::object();
+    for (const auto& [k, v] : r.metrics) jm.set(k, v);
+    jr.set("metrics", std::move(jm));
+    jrows.push_back(std::move(jr));
+  }
+  doc.set("rows", std::move(jrows));
+  return doc;
+}
+
+BenchReport BenchReport::from_json(const Json& doc) {
+  MORPH_CHECK_MSG(doc.is_object(), "bench report: not a JSON object");
+  MORPH_CHECK_MSG(doc.at("schema").as_string() == kSchemaName,
+                  "bench report: unexpected schema \""
+                      << doc.at("schema").as_string() << "\"");
+  const std::int64_t version = doc.at("version").as_int();
+  MORPH_CHECK_MSG(version == kSchemaVersion,
+                  "bench report: unsupported version " << version
+                                                       << " (expected "
+                                                       << kSchemaVersion << ")");
+  BenchReport r;
+  r.bench = doc.at("bench").as_string();
+  r.title = doc.at("title").as_string();
+  r.clock_ghz = doc.at("clock_ghz").as_double();
+  for (const auto& [k, v] : doc.at("args").items()) {
+    r.args.emplace_back(k, v.as_string());
+  }
+  const Json& jrows = doc.at("rows");
+  MORPH_CHECK_MSG(jrows.is_array(), "bench report: rows is not an array");
+  for (std::size_t i = 0; i < jrows.size(); ++i) {
+    const Json& jr = jrows.at(i);
+    Row& row = r.add_row(jr.at("name").as_string());
+    for (const auto& [k, v] : jr.at("metrics").items()) {
+      row.metric(k, v.as_double());
+    }
+  }
+  return r;
+}
+
+void BenchReport::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  MORPH_CHECK_MSG(os.good(), "cannot open report output \"" << path << "\"");
+  os << to_json_text();
+  MORPH_CHECK_MSG(os.good(), "failed writing report \"" << path << "\"");
+}
+
+BenchReport BenchReport::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MORPH_CHECK_MSG(is.good(), "cannot open report \"" << path << "\"");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse(buf.str());
+}
+
+BenchReport merge_reports(const std::vector<BenchReport>& reports,
+                          const std::string& name) {
+  MORPH_CHECK_MSG(!reports.empty(), "merge_reports: nothing to merge");
+  BenchReport out;
+  out.bench = name;
+  out.title = "consolidated bench snapshot";
+  out.clock_ghz = reports.front().clock_ghz;
+  for (const BenchReport& r : reports) {
+    MORPH_CHECK_MSG(r.clock_ghz == out.clock_ghz,
+                    "merge_reports: clock_ghz mismatch between reports");
+    for (const BenchReport::Row& row : r.rows) {
+      out.rows.push_back(
+          BenchReport::Row{r.bench + "/" + row.name, row.metrics});
+    }
+  }
+  return out;
+}
+
+}  // namespace morph::telemetry

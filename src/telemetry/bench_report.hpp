@@ -1,0 +1,61 @@
+// Versioned machine-readable bench output ("morph-bench-report").
+//
+// Every bench in bench/ emits one of these via --json=<path> (see
+// bench_common.hpp); morph-report pretty-prints, diffs, and merges them, and
+// scripts/bench_snapshot.sh consolidates a full run into BENCH_<date>.json.
+// The schema is documented in docs/TELEMETRY.md; bump kSchemaVersion on any
+// incompatible change and keep from_json able to reject what it can't read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace morph::telemetry {
+
+struct BenchReport {
+  static constexpr std::int64_t kSchemaVersion = 1;
+  static constexpr const char* kSchemaName = "morph-bench-report";
+
+  struct Row {
+    std::string name;
+    /// Insertion-ordered (metric name, value) pairs; names are stable
+    /// identifiers like "modeled_cycles", "atomics", "wall_seconds".
+    std::vector<std::pair<std::string, double>> metrics;
+
+    Row& metric(const std::string& key, double value);  ///< insert/overwrite
+    const double* find(const std::string& key) const;   ///< nullptr if absent
+  };
+
+  std::string bench;   ///< binary name, e.g. "fig6_dmr_runtime"
+  std::string title;   ///< human title, e.g. "Fig. 6 — DMR runtime"
+  double clock_ghz = 1.0;
+  /// CLI flags the run was invoked with (output paths excluded so reruns of
+  /// the same configuration produce comparable reports).
+  std::vector<std::pair<std::string, std::string>> args;
+  std::vector<Row> rows;
+
+  Row& add_row(const std::string& name);
+  const Row* find_row(const std::string& name) const;
+
+  Json to_json() const;
+  static BenchReport from_json(const Json& doc);  ///< throws CheckError
+
+  std::string to_json_text() const { return to_json().dump(2) + "\n"; }
+  static BenchReport parse(const std::string& text) {
+    return from_json(Json::parse(text));
+  }
+
+  void save(const std::string& path) const;       ///< throws on IO error
+  static BenchReport load(const std::string& path);
+};
+
+/// Consolidates many reports into one (rows renamed "<bench>/<row>"); used
+/// by `morph-report merge` for the BENCH_<date>.json perf-trajectory files.
+BenchReport merge_reports(const std::vector<BenchReport>& reports,
+                          const std::string& name);
+
+}  // namespace morph::telemetry

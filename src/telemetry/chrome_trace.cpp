@@ -1,0 +1,159 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "support/check.hpp"
+#include "telemetry/json.hpp"
+
+namespace morph::telemetry {
+
+namespace {
+
+const char* kind_label(EventKind k) {
+  switch (k) {
+    case EventKind::kLaunch: return "launch";
+    case EventKind::kPhase: return "phase";
+    case EventKind::kBarrier: return "barrier";
+    case EventKind::kBlock: return "block";
+    case EventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+Json span_event(const TraceEvent& ev, std::uint32_t tid, double ts_cycles,
+                double us_per_cycle) {
+  Json e = Json::object();
+  e.set("name", ev.name.empty() ? kind_label(ev.kind) : ev.name);
+  e.set("cat", kind_label(ev.kind));
+  e.set("ph", "X");
+  e.set("pid", static_cast<std::int64_t>(ev.device));
+  e.set("tid", static_cast<std::int64_t>(tid));
+  e.set("ts", ts_cycles * us_per_cycle);
+  e.set("dur", ev.dur_cycles * us_per_cycle);
+  Json args = Json::object();
+  args.set("launch", static_cast<std::int64_t>(ev.launch));
+  if (ev.kind != EventKind::kLaunch) {
+    args.set("phase", static_cast<std::int64_t>(ev.phase));
+  }
+  if (ev.kind == EventKind::kBlock) {
+    args.set("block", static_cast<std::int64_t>(ev.block));
+  }
+  args.set("work", ev.work);
+  args.set("warp_steps", ev.warp_steps);
+  args.set("atomics", ev.atomics);
+  args.set("global_accesses", ev.global_accesses);
+  args.set("modeled_cycles", ev.dur_cycles);
+  e.set("args", std::move(args));
+  return e;
+}
+
+Json metadata_event(const char* what, std::uint32_t pid, std::uint32_t tid,
+                    const std::string& name) {
+  Json e = Json::object();
+  e.set("name", what);
+  e.set("ph", "M");
+  e.set("pid", static_cast<std::int64_t>(pid));
+  e.set("tid", static_cast<std::int64_t>(tid));
+  Json args = Json::object();
+  args.set("name", name);
+  e.set("args", std::move(args));
+  return e;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const ChromeTraceOptions& opts) {
+  MORPH_CHECK(opts.clock_ghz > 0.0);
+  std::vector<TraceEvent> evs = events;
+  std::sort(evs.begin(), evs.end(), trace_event_order);
+  const double us_per_cycle = 1.0 / (opts.clock_ghz * 1000.0);
+
+  // Track inventory per device for the metadata header.
+  std::map<std::uint32_t, std::uint32_t> device_max_track;
+  for (const TraceEvent& ev : evs) {
+    auto it = device_max_track.try_emplace(ev.device, 0u).first;
+    if (ev.kind == EventKind::kBlock) {
+      it->second = std::max(it->second, ev.track + 1);
+    }
+  }
+
+  Json trace_events = Json::array();
+  for (const auto& [dev, tracks] : device_max_track) {
+    trace_events.push_back(metadata_event(
+        "process_name", dev, 0, "morph gpu::Device " + std::to_string(dev)));
+    trace_events.push_back(metadata_event("thread_name", dev, 0, "kernel timeline"));
+    for (std::uint32_t s = 0; s < tracks; ++s) {
+      trace_events.push_back(
+          metadata_event("thread_name", dev, 1 + s, "sm " + std::to_string(s)));
+    }
+  }
+
+  // Per-block spans are laid out by prefix-summing durations per SM track of
+  // the current (device, launch, phase): evs is sorted so all blocks of a
+  // phase directly follow that phase's span event, in ascending block order.
+  double phase_start_cycles = 0.0;
+  std::map<std::uint32_t, double> track_offset;
+  for (const TraceEvent& ev : evs) {
+    switch (ev.kind) {
+      case EventKind::kLaunch:
+        trace_events.push_back(span_event(ev, 0, ev.ts_cycles, us_per_cycle));
+        break;
+      case EventKind::kPhase:
+        phase_start_cycles = ev.ts_cycles;
+        track_offset.clear();
+        trace_events.push_back(span_event(ev, 0, ev.ts_cycles, us_per_cycle));
+        break;
+      case EventKind::kBarrier:
+        trace_events.push_back(span_event(ev, 0, ev.ts_cycles, us_per_cycle));
+        break;
+      case EventKind::kBlock: {
+        double& off = track_offset[ev.track];
+        trace_events.push_back(span_event(ev, 1 + ev.track,
+                                          phase_start_cycles + off,
+                                          us_per_cycle));
+        off += ev.dur_cycles;
+        break;
+      }
+      case EventKind::kCounter: {
+        Json e = Json::object();
+        e.set("name", ev.name);
+        e.set("ph", "C");
+        e.set("pid", static_cast<std::int64_t>(ev.device));
+        e.set("tid", std::int64_t{0});
+        e.set("ts", ev.ts_cycles * us_per_cycle);
+        Json args = Json::object();
+        args.set("value", ev.value);
+        e.set("args", std::move(args));
+        trace_events.push_back(std::move(e));
+        break;
+      }
+    }
+  }
+
+  Json doc = Json::object();
+  doc.set("displayTimeUnit", "ms");
+  Json other = Json::object();
+  other.set("schema", "morph-chrome-trace");
+  other.set("version", std::int64_t{1});
+  other.set("clock_ghz", opts.clock_ghz);
+  if (opts.dropped_events > 0) {
+    other.set("dropped_events", opts.dropped_events);
+  }
+  doc.set("otherData", std::move(other));
+  doc.set("traceEvents", std::move(trace_events));
+  return doc.dump();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const ChromeTraceOptions& opts) {
+  std::ofstream os(path, std::ios::binary);
+  MORPH_CHECK_MSG(os.good(), "cannot open trace output \"" << path << "\"");
+  os << chrome_trace_json(events, opts) << "\n";
+  MORPH_CHECK_MSG(os.good(), "failed writing trace \"" << path << "\"");
+}
+
+}  // namespace morph::telemetry

@@ -1,0 +1,38 @@
+// Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+//
+// Mapping (see docs/TELEMETRY.md):
+//   - one process (pid) per registered Device,
+//   - tid 0 is the launch/phase/barrier timeline,
+//   - tid 1+s is simulated SM `s` (per-block spans, when recorded),
+//   - counters (worklist occupancy, device memory) render as counter tracks.
+// Timestamps are modeled cycles converted to microseconds at the device's
+// nominal clock, so the export is deterministic and byte-identical across
+// host_workers values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace morph::telemetry {
+
+struct ChromeTraceOptions {
+  double clock_ghz = 1.0;  ///< cycles -> microseconds conversion
+  std::uint64_t dropped_events = 0;  ///< surfaced in otherData when nonzero
+};
+
+/// Serializes merged events as a Chrome trace-event document (JSON object
+/// format with a "traceEvents" array). Per-block spans are laid out on their
+/// SM track by prefix-summing block durations in ascending block order,
+/// which is deterministic regardless of the real execution interleaving.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const ChromeTraceOptions& opts = {});
+
+/// chrome_trace_json + write to `path`; throws morph::CheckError on IO error.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const ChromeTraceOptions& opts = {});
+
+}  // namespace morph::telemetry

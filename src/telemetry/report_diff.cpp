@@ -1,0 +1,82 @@
+#include "telemetry/report_diff.hpp"
+
+#include <limits>
+
+namespace morph::telemetry {
+
+double DiffThresholds::threshold_for(const std::string& metric) const {
+  for (const auto& [name, rel] : per_metric) {
+    if (name == metric) return rel;
+  }
+  return default_rel;
+}
+
+bool DiffThresholds::gates(const std::string& metric) const {
+  for (const std::string& g : gated) {
+    if (g == metric) return true;
+  }
+  return false;
+}
+
+DiffResult diff_reports(const BenchReport& base, const BenchReport& current,
+                        const DiffThresholds& thresholds) {
+  DiffResult out;
+  if (base.bench != current.bench) {
+    out.structural.push_back("bench name changed: \"" + base.bench +
+                             "\" -> \"" + current.bench + "\"");
+  }
+  if (base.clock_ghz != current.clock_ghz) {
+    out.structural.push_back(
+        "clock_ghz changed: " + Json::number_to_string(base.clock_ghz) +
+        " -> " + Json::number_to_string(current.clock_ghz));
+  }
+
+  for (const BenchReport::Row& brow : base.rows) {
+    const BenchReport::Row* crow = current.find_row(brow.name);
+    if (!crow) {
+      out.structural.push_back("row missing in current: \"" + brow.name +
+                               "\"");
+      continue;
+    }
+    for (const auto& [metric, bval] : brow.metrics) {
+      const double* cptr = crow->find(metric);
+      if (!cptr) {
+        out.structural.push_back("metric missing in current: \"" + brow.name +
+                                 "\" / " + metric);
+        continue;
+      }
+      const double cval = *cptr;
+      if (cval == bval) continue;
+      MetricDelta d;
+      d.row = brow.name;
+      d.metric = metric;
+      d.base = bval;
+      d.current = cval;
+      d.rel_change = bval != 0.0
+                         ? (cval - bval) / bval
+                         : (cval > bval
+                                ? std::numeric_limits<double>::infinity()
+                                : -std::numeric_limits<double>::infinity());
+      d.gated = thresholds.gates(metric);
+      d.regression =
+          d.gated && d.rel_change > thresholds.threshold_for(metric);
+      out.regressed = out.regressed || d.regression;
+      out.deltas.push_back(std::move(d));
+    }
+    for (const auto& [metric, cval] : crow->metrics) {
+      (void)cval;
+      if (!brow.find(metric)) {
+        out.structural.push_back("metric new in current: \"" + brow.name +
+                                 "\" / " + metric);
+      }
+    }
+  }
+  for (const BenchReport::Row& crow : current.rows) {
+    if (!base.find_row(crow.name)) {
+      out.structural.push_back("row new in current: \"" + crow.name + "\"");
+    }
+  }
+  return out;
+}
+
+}  // namespace morph::telemetry

@@ -1,0 +1,59 @@
+// Regression diffing between two BenchReports.
+//
+// The gate is asymmetric on purpose: all gated metrics are "higher is
+// worse" (modeled_cycles, atomics, divergence, ...), improvements are
+// reported but never fail, and non-deterministic metrics (wall clock) are
+// informational only. morph-report maps DiffResult::exit_code() to the
+// process exit status so CI can use `morph-report diff` as a perf gate.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/bench_report.hpp"
+
+namespace morph::telemetry {
+
+struct DiffThresholds {
+  /// Allowed relative increase (0.02 = +2%) for gated metrics without a
+  /// per-metric override.
+  double default_rel = 0.02;
+  /// Per-metric overrides, e.g. {"modeled_cycles", 0.05}.
+  std::vector<std::pair<std::string, double>> per_metric;
+  /// Metrics that can fail the diff. Everything else (wall_seconds, ...) is
+  /// compared for the report but never regresses.
+  std::vector<std::string> gated = {"modeled_cycles", "model_ms",
+                                    "atomics",        "divergence",
+                                    "warp_steps",     "global_accesses",
+                                    "total_work"};
+
+  double threshold_for(const std::string& metric) const;
+  bool gates(const std::string& metric) const;
+};
+
+struct MetricDelta {
+  std::string row;
+  std::string metric;
+  double base = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  ///< (current - base) / base; +inf when base == 0
+  bool gated = false;
+  bool regression = false;
+};
+
+struct DiffResult {
+  std::vector<MetricDelta> deltas;  ///< every metric whose value changed
+  /// Rows/metrics present on one side only, and header mismatches.
+  std::vector<std::string> structural;
+  bool regressed = false;
+
+  bool clean() const { return !regressed && structural.empty(); }
+  /// 0 = within thresholds, 1 = regression or structural change.
+  int exit_code() const { return clean() ? 0 : 1; }
+};
+
+DiffResult diff_reports(const BenchReport& base, const BenchReport& current,
+                        const DiffThresholds& thresholds = {});
+
+}  // namespace morph::telemetry

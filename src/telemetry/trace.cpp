@@ -1,0 +1,74 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "support/check.hpp"
+
+namespace morph::telemetry {
+
+bool trace_event_order(const TraceEvent& a, const TraceEvent& b) {
+  const auto ka = static_cast<std::uint8_t>(a.kind);
+  const auto kb = static_cast<std::uint8_t>(b.kind);
+  return std::tie(a.device, a.launch, a.phase, ka, a.block, a.seq, a.name) <
+         std::tie(b.device, b.launch, b.phase, kb, b.block, b.seq, b.name);
+}
+
+TraceSink::TraceSink() : TraceSink(Options{}) {}
+
+TraceSink::TraceSink(Options opts) : opts_(opts) {
+  MORPH_CHECK(opts_.ring_capacity > 0);
+}
+
+std::uint32_t TraceSink::register_device(std::uint32_t host_workers) {
+  std::scoped_lock lock(mu_);
+  const std::size_t want = static_cast<std::size_t>(host_workers) + 1;
+  while (rings_.size() < want) rings_.push_back(std::make_unique<Ring>());
+  return devices_++;
+}
+
+void TraceSink::record(std::uint32_t worker, TraceEvent ev) {
+  Ring* ring;
+  {
+    std::scoped_lock lock(mu_);
+    MORPH_CHECK_MSG(worker < rings_.size(),
+                    "TraceSink: worker " << worker
+                                         << " has no ring (register_device "
+                                            "with enough host_workers first)");
+    ring = rings_[worker].get();
+  }
+  if (ring->events.size() < opts_.ring_capacity) {
+    ring->events.push_back(std::move(ev));
+  } else {
+    ring->events[ring->written % opts_.ring_capacity] = std::move(ev);
+    ++ring->dropped;
+  }
+  ++ring->written;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::scoped_lock lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->dropped;
+  return n;
+}
+
+std::vector<TraceEvent> TraceSink::merged() const {
+  std::scoped_lock lock(mu_);
+  std::vector<TraceEvent> out;
+  std::size_t total = 0;
+  for (const auto& r : rings_) total += r->events.size();
+  out.reserve(total);
+  for (const auto& r : rings_) {
+    out.insert(out.end(), r->events.begin(), r->events.end());
+  }
+  std::sort(out.begin(), out.end(), trace_event_order);
+  return out;
+}
+
+void TraceSink::clear() {
+  std::scoped_lock lock(mu_);
+  for (auto& r : rings_) *r = Ring{};
+}
+
+}  // namespace morph::telemetry

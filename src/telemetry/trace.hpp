@@ -1,0 +1,108 @@
+// Trace collection: structured events from the simulated device.
+//
+// A TraceSink is attached to one or more gpu::Device instances through
+// DeviceConfig::trace (off by default; a null sink costs a single branch per
+// launch). The device records launch / phase / barrier spans — and, when
+// Options::block_spans is set, one span per executed block — with the
+// KernelStats deltas of each span. Events carry *modeled-cycle* timestamps,
+// never wall clock, so a trace is a pure function of the simulated
+// execution: bit-identical modeled stats produce byte-identical traces.
+//
+// Concurrency: each host worker appends to its own ring buffer (worker 0 is
+// the launching thread, 1..N the pool threads), so recording takes no lock
+// on the hot path beyond a pointer fetch. merged() sorts the union of all
+// rings by a deterministic key — (device, launch, phase, kind, block, seq)
+// — which makes the flushed trace independent of which worker executed
+// which block, i.e. stable across host_workers values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace morph::telemetry {
+
+enum class EventKind : std::uint8_t {
+  kLaunch = 0,   ///< whole kernel launch (all phases + barriers)
+  kPhase = 1,    ///< one phase of a launch
+  kBarrier = 2,  ///< intra-kernel global barrier after a phase
+  kBlock = 3,    ///< one block's execution within a phase (optional)
+  kCounter = 4,  ///< sampled counter (worklist occupancy, device memory)
+};
+
+struct TraceEvent {
+  EventKind kind = EventKind::kCounter;
+  std::uint32_t device = 0;  ///< ordinal from TraceSink::register_device
+  std::uint32_t launch = 0;  ///< launch ordinal within the device
+  std::uint32_t phase = 0;   ///< phase index within the launch
+  std::uint32_t block = 0;   ///< block id (kBlock only)
+  std::uint32_t track = 0;   ///< render track: simulated SM id (kBlock only)
+  std::uint64_t seq = 0;     ///< device-assigned tiebreaker (serial events)
+  std::string name;
+  double ts_cycles = 0.0;    ///< modeled-cycle start (kBlock: laid out at export)
+  double dur_cycles = 0.0;
+
+  // Counted deltas of the span (spans), or the sampled value (counters).
+  std::uint64_t work = 0;
+  std::uint64_t warp_steps = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t global_accesses = 0;
+  double value = 0.0;
+};
+
+/// The deterministic total order merged() flushes in. Public so tests and
+/// exporters can re-sort event subsets consistently.
+bool trace_event_order(const TraceEvent& a, const TraceEvent& b);
+
+class TraceSink {
+ public:
+  struct Options {
+    /// Events retained per worker ring; when a ring overflows the oldest
+    /// events of that ring are overwritten (and counted in dropped()).
+    /// Overflow can make the merged trace depend on the worker count, so
+    /// size generously; exporters surface dropped() loudly.
+    std::size_t ring_capacity = 1u << 20;
+    /// Record one span per executed block (one track per simulated SM).
+    bool block_spans = false;
+  };
+
+  TraceSink();  ///< default Options
+  explicit TraceSink(Options opts);
+
+  bool block_spans() const { return opts_.block_spans; }
+
+  /// Called by each Device on construction: returns the device ordinal used
+  /// in its events and ensures rings exist for `host_workers` pool threads.
+  /// Not safe concurrently with record() (attach devices before launching).
+  std::uint32_t register_device(std::uint32_t host_workers);
+
+  /// Appends to worker `worker`'s ring (0 = launching thread, 1..N = pool
+  /// threads, the value of ThreadPool::current_worker()). A given worker
+  /// index must only be used by one thread at a time (which the pool
+  /// guarantees).
+  void record(std::uint32_t worker, TraceEvent ev);
+
+  /// Total events overwritten by ring overflow across all rings.
+  std::uint64_t dropped() const;
+
+  /// Union of all rings in the deterministic trace_event_order.
+  std::vector<TraceEvent> merged() const;
+
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> events;  ///< ring storage, at most ring_capacity
+    std::uint64_t written = 0;       ///< total appends (wraps the ring)
+    std::uint64_t dropped = 0;
+  };
+
+  Options opts_;
+  mutable std::mutex mu_;  ///< guards rings_ growth and whole-sink reads
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::uint32_t devices_ = 0;
+};
+
+}  // namespace morph::telemetry

@@ -169,6 +169,55 @@ TEST(Cli, BoolFalseSpellings) {
   EXPECT_TRUE(args.get_bool("c", false));
 }
 
+TEST(Cli, CollectsPositionalArguments) {
+  const char* argv[] = {"prog", "diff", "--threshold=0.05", "a.json",
+                        "b.json"};
+  CliArgs args(5, const_cast<char**>(argv));
+  ASSERT_EQ(args.positional().size(), 3u);
+  EXPECT_EQ(args.positional()[0], "diff");
+  EXPECT_EQ(args.positional()[1], "a.json");
+  EXPECT_DOUBLE_EQ(args.get_double("threshold", 0.0), 0.05);
+}
+
+TEST(Cli, PositiveIntAcceptsOnlyStrictlyPositiveIntegers) {
+  const char* argv[] = {"prog",       "--ok=64",  "--zero=0", "--neg=-3",
+                        "--junk=12x", "--empty=", "--word=ten"};
+  CliArgs args(7, const_cast<char**>(argv));
+  EXPECT_EQ(args.try_get_positive_int("ok", 1), 64);
+  EXPECT_EQ(args.try_get_positive_int("absent", 7), 7);  // default passes
+  EXPECT_EQ(args.try_get_positive_int("zero", 1), std::nullopt);
+  EXPECT_EQ(args.try_get_positive_int("neg", 1), std::nullopt);
+  EXPECT_EQ(args.try_get_positive_int("junk", 1), std::nullopt);
+  EXPECT_EQ(args.try_get_positive_int("empty", 1), std::nullopt);
+  EXPECT_EQ(args.try_get_positive_int("word", 1), std::nullopt);
+}
+
+TEST(Cli, WarnUnknownFlagsSuggestsClosestKnown) {
+  const char* argv[] = {"prog", "--host-worker=4", "--scale=2",
+                        "--completely-different"};
+  CliArgs args(4, const_cast<char**>(argv));
+  std::ostringstream err;
+  const std::size_t n =
+      args.warn_unknown({"host-workers", "scale", "json"}, err);
+  EXPECT_EQ(n, 2u);
+  const std::string out = err.str();
+  EXPECT_NE(out.find("unknown flag --host-worker"), std::string::npos);
+  EXPECT_NE(out.find("did you mean --host-workers?"), std::string::npos);
+  // Nothing close to --completely-different: no suggestion offered.
+  EXPECT_NE(out.find("unknown flag --completely-different"),
+            std::string::npos);
+  EXPECT_EQ(out.find("--completely-different (did you mean"),
+            std::string::npos);
+}
+
+TEST(Cli, WarnUnknownIsQuietWhenAllFlagsKnown) {
+  const char* argv[] = {"prog", "--scale=2"};
+  CliArgs args(2, const_cast<char**>(argv));
+  std::ostringstream err;
+  EXPECT_EQ(args.warn_unknown({"scale"}, err), 0u);
+  EXPECT_TRUE(err.str().empty());
+}
+
 TEST(Table, AlignsColumnsAndPadsRows) {
   Table t({"name", "value"});
   t.add_row({"x", "1"});

@@ -1,0 +1,164 @@
+// morph-report: inspect, diff, and merge BenchReport JSON files.
+//
+//   morph-report show  <report.json>
+//   morph-report diff  <base.json> <current.json>
+//                      [--threshold=REL] [--threshold-<metric>=REL]
+//   morph-report merge <out.json> <in.json>... [--name=NAME]
+//
+// `diff` exits 0 when every gated metric is within threshold, 1 on a
+// regression or structural change (CI uses it as a perf gate), 2 on usage
+// or file errors. Thresholds are relative increases: --threshold=0.05
+// allows +5% on every gated metric; --threshold-atomics=0 makes any growth
+// in atomics fail. See docs/TELEMETRY.md for the report schema.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/report_diff.hpp"
+
+namespace {
+
+using morph::CliArgs;
+using morph::Table;
+using namespace morph::telemetry;
+
+int usage(std::ostream& out, int code) {
+  out << "usage:\n"
+         "  morph-report show  <report.json>\n"
+         "  morph-report diff  <base.json> <current.json>\n"
+         "                     [--threshold=REL] [--threshold-<metric>=REL]\n"
+         "  morph-report merge <out.json> <in.json>... [--name=NAME]\n";
+  return code;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string pct(double rel) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", rel * 100.0);
+  return buf;
+}
+
+int cmd_show(const BenchReport& rep) {
+  std::cout << "bench:     " << rep.bench << "\n"
+            << "title:     " << rep.title << "\n"
+            << "clock_ghz: " << num(rep.clock_ghz) << "\n";
+  if (!rep.args.empty()) {
+    std::cout << "args:     ";
+    for (const auto& [k, v] : rep.args) std::cout << " --" << k << "=" << v;
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+  Table t({"row", "metric", "value"});
+  for (const auto& row : rep.rows) {
+    bool first = true;
+    for (const auto& [metric, value] : row.metrics) {
+      t.add_row({first ? row.name : "", metric, num(value)});
+      first = false;
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_diff(const BenchReport& base, const BenchReport& cur,
+             const CliArgs& args) {
+  DiffThresholds th;
+  th.default_rel = args.get_double("threshold", th.default_rel);
+  for (const auto& [flag, value] : args.flags()) {
+    const std::string prefix = "threshold-";
+    if (flag.rfind(prefix, 0) == 0 && flag.size() > prefix.size()) {
+      th.per_metric.emplace_back(flag.substr(prefix.size()),
+                                 std::strtod(value.c_str(), nullptr));
+    }
+  }
+
+  const DiffResult res = diff_reports(base, cur, th);
+
+  for (const std::string& s : res.structural) {
+    std::cout << "structural: " << s << "\n";
+  }
+  if (!res.deltas.empty()) {
+    Table t({"row", "metric", "base", "current", "change", "status"});
+    for (const MetricDelta& d : res.deltas) {
+      const char* status = d.regression      ? "REGRESSION"
+                           : !d.gated        ? "info"
+                           : d.current < d.base ? "improved"
+                                                : "ok";
+      t.add_row({d.row, d.metric, num(d.base), num(d.current),
+                 pct(d.rel_change), status});
+    }
+    t.print(std::cout);
+  }
+
+  if (res.clean()) {
+    std::cout << (res.deltas.empty() ? "identical" : "within thresholds")
+              << " (" << res.deltas.size() << " changed metrics)\n";
+  } else {
+    std::size_t regressions = 0;
+    for (const MetricDelta& d : res.deltas) regressions += d.regression;
+    std::cout << "FAIL: " << regressions << " regression(s), "
+              << res.structural.size() << " structural change(s)\n";
+  }
+  return res.exit_code();
+}
+
+int cmd_merge(const CliArgs& args) {
+  const auto& pos = args.positional();
+  if (pos.size() < 3) return usage(std::cerr, 2);
+  std::vector<BenchReport> reports;
+  for (std::size_t i = 2; i < pos.size(); ++i) {
+    reports.push_back(BenchReport::load(pos[i]));
+  }
+  const BenchReport merged =
+      merge_reports(reports, args.get("name", "merged"));
+  merged.save(pos[1]);
+  std::cout << "wrote " << pos[1] << " (" << merged.rows.size()
+            << " rows from " << reports.size() << " reports)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto& pos = args.positional();
+  if (pos.empty()) return usage(std::cerr, 2);
+
+  std::vector<std::string> known = {"threshold", "name"};
+  for (const auto& [flag, value] : args.flags()) {
+    (void)value;
+    if (flag.rfind("threshold-", 0) == 0) known.push_back(flag);
+  }
+  args.warn_unknown(known, std::cerr);
+
+  try {
+    const std::string& cmd = pos[0];
+    if (cmd == "show" && pos.size() == 2) {
+      return cmd_show(BenchReport::load(pos[1]));
+    }
+    if (cmd == "diff" && pos.size() == 3) {
+      return cmd_diff(BenchReport::load(pos[1]), BenchReport::load(pos[2]),
+                      args);
+    }
+    if (cmd == "merge") {
+      return cmd_merge(args);
+    }
+    if (cmd == "help" || args.has("help")) {
+      return usage(std::cout, 0);
+    }
+  } catch (const morph::CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return usage(std::cerr, 2);
+}
