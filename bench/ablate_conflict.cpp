@@ -8,7 +8,7 @@
 #include "dmr/delaunay.hpp"
 #include "dmr/refine.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   bench::Bench bench(argc, argv,
                      "Ablation — conflict resolution schemes (Sec. 7.3)",
@@ -84,4 +84,8 @@ int main(int argc, char** argv) {
     t.print(std::cout);
   }
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

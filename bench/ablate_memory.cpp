@@ -9,7 +9,7 @@
 #include "dmr/refine.hpp"
 #include "pta/solve.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   bench::Bench bench(argc, argv,
                      "Ablation — PTA Kernel-Only chunk size (Sec. 7.1)",
@@ -84,4 +84,8 @@ int main(int argc, char** argv) {
                  "mark-only leaves tombstones)\n";
   }
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

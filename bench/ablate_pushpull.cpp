@@ -6,7 +6,7 @@
 #include "bench_common.hpp"
 #include "pta/solve.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   bench::Bench bench(argc, argv,
                      "Ablation — push vs pull propagation in PTA (Sec. 6.4)",
@@ -39,4 +39,8 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

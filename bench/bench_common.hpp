@@ -15,6 +15,9 @@
 //                       as milliseconds (default 1.0, the paper-era Fermi
 //                       ballpark); lives in gpu::DeviceConfig::clock_ghz so
 //                       tables and JSON reports always agree.
+//   --faults=<spec>     arm a deterministic fault-injection campaign on every
+//                       device the bench constructs (docs/RESILIENCE.md);
+//                       --fault-seed=<n> keys its probabilistic clauses.
 //
 // Cross-platform timing claims use the simulator's modeled cycles (reported
 // as "model-ms"); wall-clock seconds of the real computation are printed
@@ -25,11 +28,13 @@
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "gpu/config.hpp"
 #include "gpu/device.hpp"
+#include "resilience/fault.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "telemetry/bench_report.hpp"
@@ -50,10 +55,16 @@ class Bench {
       : args_(argc, argv) {
     std::vector<std::string> known = {"host-workers", "json",     "trace",
                                       "trace-blocks", "clock-ghz"};
+    const auto& fault_flags = resilience::fault_cli_flags();
+    known.insert(known.end(), fault_flags.begin(), fault_flags.end());
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     args_.warn_unknown(known, std::cerr);
 
     base_cfg_.host_workers = host_workers_arg(args_);
+    fault_plan_ = resilience::fault_plan_from_args(
+        args_.get("faults", ""),
+        static_cast<std::uint64_t>(args_.get_int("fault-seed", 1)));
+    if (fault_plan_) base_cfg_.faults = &*fault_plan_;
     base_cfg_.clock_ghz = args_.get_double("clock-ghz", 1.0);
     if (base_cfg_.clock_ghz <= 0.0) {
       std::cerr << "error: --clock-ghz must be positive\n";
@@ -157,9 +168,25 @@ class Bench {
 
   CliArgs args_;
   gpu::DeviceConfig base_cfg_;
+  /// Owns the --faults campaign base_cfg_.faults points at (if armed).
+  std::optional<resilience::FaultPlan> fault_plan_;
   double ms_per_cycle_ = 1e-6;
   std::unique_ptr<telemetry::TraceSink> sink_;
   telemetry::BenchReport report_;
 };
+
+/// Runs a bench body, turning an unrecovered injected fault (FaultError:
+/// exhausted retries, watchdog give-up, invariant violation) into a clean
+/// nonzero exit instead of a terminate(). Mains do
+/// `return bench::guarded_main([&] { ...; return bench.finish(); });`.
+template <typename F>
+int guarded_main(F&& body) {
+  try {
+    return body();
+  } catch (const FaultError& e) {
+    std::cerr << "fault campaign failed: " << e.status().to_string() << "\n";
+    return 3;
+  }
+}
 
 }  // namespace morph::bench

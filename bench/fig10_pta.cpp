@@ -10,7 +10,7 @@
 #include "pta/solve.hpp"
 #include "support/stats.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   bench::Bench bench(argc, argv,
                      "Fig. 10 — Points-to Analysis on SPEC 2000 sizes",
@@ -59,4 +59,8 @@ int main(int argc, char** argv) {
       .metric("speedup_geomean", geomean(speedups))
       .metric("gpu_total_model_ms", gpu_total_ms);
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

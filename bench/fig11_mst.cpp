@@ -11,7 +11,7 @@
 #include "graph/generators.hpp"
 #include "mst/mst.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   using graph::CsrGraph;
   bench::Bench bench(argc, argv, "Fig. 11 — Boruvka MST",
@@ -100,4 +100,8 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

@@ -11,7 +11,7 @@
 #include "dmr/cavity.hpp"
 #include "dmr/delaunay.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   bench::Bench bench(argc, argv, "Fig. 2 — DMR parallelism profile",
                      "available parallelism rises to a peak, then decays",
@@ -64,4 +64,8 @@ int main(int argc, char** argv) {
       .metric("initial", static_cast<double>(first))
       .metric("peak", static_cast<double>(peak));
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

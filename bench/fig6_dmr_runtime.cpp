@@ -11,7 +11,7 @@
 #include "dmr/delaunay.hpp"
 #include "dmr/refine.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   bench::Bench bench(argc, argv,
                      "Fig. 6 — DMR runtime: GPU vs Triangle vs Galois",
@@ -70,4 +70,8 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\n(paper: GPU 2-4x faster than Galois-48 on all sizes)\n";
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

@@ -8,7 +8,7 @@
 #include "dmr/delaunay.hpp"
 #include "dmr/refine.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   bench::Bench bench(argc, argv, "Fig. 7 — DMR speedups over sequential",
                      "paper: Galois-48 26.5-28.6x, GPU 54.6-80.5x",
@@ -53,4 +53,8 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

@@ -16,7 +16,7 @@
 #include "dmr/delaunay.hpp"
 #include "dmr/refine.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   bench::Bench bench(argc, argv, "Fig. 8 — DMR optimization ladder",
                      "each row adds one optimization; row 8 trades a little "
@@ -79,4 +79,8 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

@@ -17,7 +17,7 @@
 #include "bench_common.hpp"
 #include "sp/survey.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace morph;
   bench::Bench bench(argc, argv,
                      "Fig. 9 — Survey Propagation (fixed 90-sweep workload)",
@@ -87,4 +87,8 @@ int main(int argc, char** argv) {
   std::cout << "\n(ratio = Galois-48 / GPU modeled time; paper: ~3x at K=3, "
                "36x at K=4, 229x at K=5, OOT at K=6)\n";
   return bench.finish();
+}
+
+int main(int argc, char** argv) {
+  return morph::bench::guarded_main([&] { return run_bench(argc, argv); });
 }

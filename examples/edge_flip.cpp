@@ -9,11 +9,13 @@
 #include "dmr/delaunay.hpp"
 #include "dmr/flip.hpp"
 #include "dmr/quality.hpp"
+#include "example_common.hpp"
 #include "support/cli.hpp"
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
+  examples::ExampleCli cli(argc, argv, {"triangles", "scrambles"});
+  CliArgs& args = cli.args();
   const std::size_t n =
       static_cast<std::size_t>(args.get_int("triangles", 20000));
   const std::size_t scrambles =
@@ -36,7 +38,8 @@ int main(int argc, char** argv) {
   }
   {
     dmr::Mesh m = base;
-    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args),
+                                      .faults = cli.faults()});
     const dmr::FlipStats st = dmr::flip_gpu(m, dev);
     std::cout << "GPU:    " << st.flips << " flips in " << st.rounds
               << " rounds (" << st.aborted << " aborted), "
@@ -44,4 +47,8 @@ int main(int argc, char** argv) {
               << ", " << dev.stats().barriers << " global barriers\n";
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return morph::examples::guarded_main([&] { return run(argc, argv); });
 }

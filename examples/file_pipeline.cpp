@@ -16,6 +16,7 @@
 #include "dmr/mesh_io.hpp"
 #include "dmr/quality.hpp"
 #include "dmr/refine.hpp"
+#include "example_common.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "mst/mst.hpp"
@@ -23,9 +24,10 @@
 #include "sp/survey.hpp"
 #include "support/cli.hpp"
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
+  examples::ExampleCli cli(argc, argv, {"dir"});
+  CliArgs& args = cli.args();
   const std::filesystem::path dir = args.get("dir", ".");
 
   // --- mesh through .node/.ele ---
@@ -38,7 +40,8 @@ int main(int argc, char** argv) {
     std::ifstream node(dir / "pipeline.node"), ele(dir / "pipeline.ele");
     dmr::Mesh back = dmr::read_triangle_format(node, ele);
     const double before = dmr::measure_quality(back).min_angle_deg;
-    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args),
+                                      .faults = cli.faults()});
     dmr::refine_gpu(back, dev);
     std::cout << "mesh:  " << m.num_live() << " triangles round-tripped; "
               << "min angle " << before << " -> "
@@ -72,7 +75,8 @@ int main(int argc, char** argv) {
     graph::Node n = 0;
     auto back = graph::read_dimacs(gr, n);
     auto g = graph::CsrGraph::from_undirected_edges(n, back);
-    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args),
+                                      .faults = cli.faults()});
     const mst::MstResult r = mst::mst_gpu(g, dev);
     std::cout << "graph: " << n << " nodes round-tripped; MST weight "
               << r.total_weight << ", "
@@ -81,4 +85,8 @@ int main(int argc, char** argv) {
               << '\n';
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return morph::examples::guarded_main([&] { return run(argc, argv); });
 }

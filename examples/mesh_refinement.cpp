@@ -8,12 +8,14 @@
 
 #include "dmr/delaunay.hpp"
 #include "dmr/refine.hpp"
+#include "example_common.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
+  examples::ExampleCli cli(argc, argv, {"triangles", "min-angle", "seed"});
+  CliArgs& args = cli.args();
   const std::size_t n =
       static_cast<std::size_t>(args.get_int("triangles", 30000));
   const double min_angle = args.get_double("min-angle", 30.0);
@@ -45,7 +47,8 @@ int main(int argc, char** argv) {
   }
   {
     dmr::Mesh m = base;
-    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args),
+                                      .faults = cli.faults()});
     const dmr::RefineStats st = dmr::refine_gpu(m, dev, opts);
     t.add_row({"GPU (3-phase, adaptive)", std::to_string(m.num_live()),
                std::to_string(st.processed), std::to_string(st.aborted),
@@ -58,4 +61,8 @@ int main(int argc, char** argv) {
                "schedule, so the\nmeshes differ triangle-by-triangle but "
                "satisfy the same constraints.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return morph::examples::guarded_main([&] { return run(argc, argv); });
 }

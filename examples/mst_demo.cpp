@@ -7,14 +7,16 @@
 #include <cmath>
 #include <iostream>
 
+#include "example_common.hpp"
 #include "graph/generators.hpp"
 #include "mst/mst.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
+  examples::ExampleCli cli(argc, argv, {"nodes"});
+  CliArgs& args = cli.args();
   const auto n = static_cast<graph::Node>(args.get_int("nodes", 20000));
 
   struct Family {
@@ -38,7 +40,8 @@ int main(int argc, char** argv) {
   for (const Family& fam : families) {
     auto g = graph::CsrGraph::from_undirected_edges(fam.nodes, fam.edges);
     const mst::MstResult kr = mst::mst_kruskal(g);
-    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
+    gpu::Device dev(gpu::DeviceConfig{.host_workers = host_workers_arg(args),
+                                      .faults = cli.faults()});
     const mst::MstResult gp = mst::mst_gpu(g, dev);
     cpu::ParallelRunner r1({.workers = 48}), r2({.workers = 48});
     const mst::MstResult em = mst::mst_edge_merge(g, r1);
@@ -58,4 +61,8 @@ int main(int argc, char** argv) {
                "sparse families but\ndegrades as density grows — the "
                "component-based GPU algorithm does not.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return morph::examples::guarded_main([&] { return run(argc, argv); });
 }

@@ -6,12 +6,14 @@
 //   ./build/examples/pointsto --vars=6126 --cons=6768
 #include <iostream>
 
+#include "example_common.hpp"
 #include "pta/solve.hpp"
 #include "support/cli.hpp"
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
+  examples::ExampleCli cli(argc, argv, {"vars", "cons"});
+  CliArgs& args = cli.args();
 
   // --- the paper's Figure 5 program ---
   //   a = &x; b = &y; p = &a; *p = b; c = a;
@@ -25,7 +27,8 @@ int main(int argc, char** argv) {
       {pta::ConstraintKind::kStore, P, B},
       {pta::ConstraintKind::kCopy, C, A},
   };
-  gpu::Device device(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
+  gpu::Device device(gpu::DeviceConfig{.host_workers = host_workers_arg(args),
+                                       .faults = cli.faults()});
   const pta::PtsSets pts = pta::solve_gpu(fig5, device);
   const char* names = "abcpxy";
   std::cout << "paper Fig. 5 fixed point:\n";
@@ -43,7 +46,8 @@ int main(int argc, char** argv) {
   const pta::ConstraintSet big = pta::synthetic_program(vars, cons, 17);
 
   pta::PtaStats st;
-  gpu::Device dev2(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
+  gpu::Device dev2(gpu::DeviceConfig{.host_workers = host_workers_arg(args),
+                                     .faults = cli.faults()});
   const pta::PtsSets gpu_pts = pta::solve_gpu(big, dev2, {}, &st);
   const pta::PtsSets ref = pta::solve_serial(big);
 
@@ -56,4 +60,8 @@ int main(int argc, char** argv) {
             << "  matches serial solver:  "
             << (pta::equal_pts(gpu_pts, ref) ? "yes" : "NO") << '\n';
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return morph::examples::guarded_main([&] { return run(argc, argv); });
 }

@@ -10,14 +10,18 @@
 
 #include "dmr/delaunay.hpp"
 #include "dmr/refine.hpp"
+#include "example_common.hpp"
 
-int main() {
+int run(int argc, char** argv) {
   using namespace morph;
+  examples::ExampleCli cli(argc, argv, {});
 
   // 1. A simulated Fermi-class device (14 SMs, 32-wide warps). Simulated
   //    blocks execute on one host worker per hardware thread (0 = auto);
-  //    modeled statistics are identical for any worker count.
-  gpu::Device device(gpu::DeviceConfig{.host_workers = 0});
+  //    modeled statistics are identical for any worker count. --faults=<spec>
+  //    arms a deterministic fault-injection campaign (docs/RESILIENCE.md).
+  gpu::Device device(
+      gpu::DeviceConfig{.host_workers = 0, .faults = cli.faults()});
 
   // 2. A random input mesh: ~20k triangles, roughly half of them "bad"
   //    (some angle below 30 degrees), like the paper's DMR inputs.
@@ -48,4 +52,8 @@ int main() {
   std::cout << "mesh is a valid conforming triangulation; Delaunay: "
             << (dmr::is_delaunay(mesh) ? "yes" : "no") << '\n';
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return morph::examples::guarded_main([&] { return run(argc, argv); });
 }

@@ -6,13 +6,15 @@
 //   ./build/examples/sat_solver --lits=4000 --ratio=4.1 --k=3
 #include <iostream>
 
+#include "example_common.hpp"
 #include "gpu/device.hpp"
 #include "sp/survey.hpp"
 #include "support/cli.hpp"
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace morph;
-  CliArgs args(argc, argv);
+  examples::ExampleCli cli(argc, argv, {"lits", "k", "ratio", "seed"});
+  CliArgs& args = cli.args();
   const auto n = static_cast<std::uint32_t>(args.get_int("lits", 3000));
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 3));
   const double ratio = args.get_double("ratio", 4.0);
@@ -26,7 +28,8 @@ int main(int argc, char** argv) {
       sp::random_ksat(n, m, k, static_cast<std::uint64_t>(
                                    args.get_int("seed", 11)));
 
-  gpu::Device device(gpu::DeviceConfig{.host_workers = host_workers_arg(args)});
+  gpu::Device device(gpu::DeviceConfig{.host_workers = host_workers_arg(args),
+                                       .faults = cli.faults()});
   sp::SpOptions opts;
   opts.seed = 99;
   const sp::SpResult r = sp::solve_gpu(f, device, opts);
@@ -47,4 +50,8 @@ int main(int argc, char** argv) {
     std::cout << "gave up: endgame did not converge\n";
   }
   return r.solved ? 0 : 2;
+}
+
+int main(int argc, char** argv) {
+  return morph::examples::guarded_main([&] { return run(argc, argv); });
 }

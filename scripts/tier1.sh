@@ -25,10 +25,31 @@ trap 'rm -rf "$SMOKE"' EXIT
 "$BUILD"/bench/fig6_dmr_runtime --scale=64 --json="$SMOKE/b.json" > /dev/null
 "$BUILD"/tools/morph-report diff "$SMOKE/a.json" "$SMOKE/b.json"
 
+echo "== tier 1: fault campaign (deterministic injection + recovery) =="
+# A canned campaign must (a) recover to a successful run and (b) produce
+# bit-identical modeled metrics for serial and block-parallel execution —
+# armed devices pin block order precisely so campaigns replay.
+FAULTS='launch@2x2,arena@3x2,barrier@1'
+"$BUILD"/bench/fig6_dmr_runtime --scale=64 --faults="$FAULTS" \
+    --host-workers=1 --json="$SMOKE/f1.json" > /dev/null
+"$BUILD"/bench/fig6_dmr_runtime --scale=64 --faults="$FAULTS" \
+    --host-workers=4 --json="$SMOKE/f4.json" > /dev/null
+"$BUILD"/tools/morph-report diff "$SMOKE/f1.json" "$SMOKE/f4.json"
+"$BUILD"/bench/fig11_mst --scale=16 --faults="$FAULTS" \
+    --host-workers=1 --json="$SMOKE/m1.json" > /dev/null
+"$BUILD"/bench/fig11_mst --scale=16 --faults="$FAULTS" \
+    --host-workers=4 --json="$SMOKE/m4.json" > /dev/null
+"$BUILD"/tools/morph-report diff "$SMOKE/m1.json" "$SMOKE/m4.json"
+# A malformed spec must fail loudly with the parse exit code (2).
+if "$BUILD"/bench/fig11_mst --faults=bogus > /dev/null 2>&1; then
+  echo "ERROR: malformed --faults spec was accepted" >&2
+  exit 1
+fi
+
 if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread - -o /dev/null 2>/dev/null; then
   echo "== tier 1: TSan build + ctest -L 'gpu|core|dmr' =="
   cmake -B "$TSAN_BUILD" -S . -DMORPH_TSAN=ON
-  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr
+  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr test_resilience
   ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" -L 'gpu|core|dmr'
 else
   echo "== tier 1: libtsan not available; skipping TSan pass =="

@@ -44,6 +44,13 @@ void MarkTable::mark_max(std::uint32_t element, std::uint32_t tid) {
 
 bool MarkTable::priority_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
                                std::span<const std::uint32_t> elements) {
+  if (force_ties_.load(std::memory_order_relaxed)) {
+    // Injected livelock: behave as if a higher-priority thread holds an
+    // element of every neighborhood. The full inspection work is still
+    // charged, as a real tied round would be.
+    ctx.work(elements.size());
+    return false;
+  }
   bool owns = true;
   for (std::uint32_t e : elements) {
     ctx.global_access();
@@ -67,6 +74,7 @@ bool MarkTable::priority_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
 bool MarkTable::exact_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
                             std::span<const std::uint32_t> elements) const {
   ctx.work(elements.size());
+  if (force_ties_.load(std::memory_order_relaxed)) return false;
   for (std::uint32_t e : elements) {
     ctx.global_access();
     if (marks_[e].load(std::memory_order_relaxed) != tid) return false;
@@ -83,6 +91,10 @@ bool MarkTable::try_claim(gpu::ThreadCtx& ctx, std::uint32_t tid,
                           std::span<const std::uint32_t> elements) {
   // Elements are expected in ascending order (callers sort neighborhoods);
   // claiming in a global order makes lock acquisition deadlock-free.
+  if (force_ties_.load(std::memory_order_relaxed)) {
+    ctx.work(elements.size());
+    return false;  // injected livelock: every lock appears contended
+  }
   std::size_t taken = 0;
   for (; taken < elements.size(); ++taken) {
     std::uint32_t expected = kNoOwner;

@@ -51,6 +51,19 @@ class MarkTable {
     return marks_[element].load(std::memory_order_relaxed);
   }
 
+  /// Livelock-injection mode (FaultClass::kLivelock): while set, every
+  /// ownership check reports a priority tie, so no activity wins its
+  /// neighborhood and a conflict-resolution round makes no progress — the
+  /// "terminates only with high probability" edge of the paper's Sec. 7.2
+  /// protocol made deterministic. Drivers arm it per round from the fault
+  /// injector; the livelock watchdog must then detect the stall.
+  void set_force_ties(bool on) {
+    force_ties_.store(on, std::memory_order_relaxed);
+  }
+  bool force_ties() const {
+    return force_ties_.load(std::memory_order_relaxed);
+  }
+
   /// Phase 1: mark every element of the neighborhood with `tid`. Contention
   /// resolves highest-id-wins (a CAS-max), which matches the serial
   /// execution order's last-writer-wins and is deterministic under any
@@ -94,6 +107,7 @@ class MarkTable {
   // Atomics: on the real GPU the race phase is a benign word-sized data
   // race; under host threads we need defined behaviour.
   std::vector<std::atomic<std::uint32_t>> marks_;
+  std::atomic<bool> force_ties_{false};
 };
 
 }  // namespace morph::core

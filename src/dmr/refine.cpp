@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/adaptive.hpp"
 #include "gpu/worklist.hpp"
 #include "dmr/cavity.hpp"
+#include "support/status.hpp"
 #include "support/timer.hpp"
 
 namespace morph::dmr {
@@ -26,6 +28,31 @@ void charge_locality(gpu::ThreadCtx& ctx, Tri candidate,
                            static_cast<std::int64_t>(candidate);
     if (d > kWindow || d < -kWindow) ctx.global_access();
   }
+}
+
+/// Arms MarkTable::force_ties for one round when the campaign injects a
+/// livelock at this round's opportunity. Returns whether it fired.
+bool inject_livelock_round(gpu::Device& dev, core::MarkTable& marks,
+                           std::uint64_t round) {
+  if (!dev.fault_should_fire(resilience::FaultClass::kLivelock)) return false;
+  marks.set_force_ties(true);
+  dev.note_fault(resilience::FaultClass::kLivelock,
+                 "forced priority ties for round " + std::to_string(round));
+  return true;
+}
+
+/// The invariant gate for serialized-arbitration recovery: validates the
+/// mesh, rolling back to `checkpoint` (when present) and failing with
+/// kInvariantViolation if refinement corrupted it.
+void gate_mesh_invariants(Mesh& m, std::optional<Mesh>& checkpoint,
+                          const char* when) {
+  std::string why;
+  if (m.validate(&why)) return;
+  if (checkpoint) m = std::move(*checkpoint);
+  throw FaultError(Status(StatusCode::kInvariantViolation,
+                          std::string(when) + ": mesh invalid: " + why +
+                              (checkpoint ? " (rolled back to checkpoint)"
+                                          : "")));
 }
 
 }  // namespace
@@ -198,9 +225,13 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
   core::SlotRecycler recycler(opts.recycle ? 1u << 22 : 0u);
   core::MarkTable marks(m.num_slots());
   core::AdaptiveLauncher launcher(opts.initial_tpb, 3, sm_factor);
+  resilience::LivelockWatchdog watchdog(opts.watchdog_escalate_after,
+                                        opts.watchdog_give_up_after);
 
   while (bad_count > 0 && st.rounds < opts.max_rounds) {
     ++st.rounds;
+    const bool injected_livelock =
+        inject_livelock_round(dev, marks, st.rounds);
     const std::uint64_t nslots = m.num_slots();
     const gpu::LaunchConfig lc =
         opts.adaptive ? launcher.next(dev.config())
@@ -363,13 +394,29 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
         break;
     }
     dev.launch_phases(lc, std::span<const gpu::Phase>(phases), opts.barrier);
+    if (injected_livelock) marks.set_force_ties(false);
     st.processed += round_processed;
     st.aborted += round_aborted;
 
-    // Live-lock fallback (Sec. 7.3): if every cavity aborted, refine one bad
-    // triangle with a single-thread kernel.
-    if (round_processed == 0 && bad_count > 0) {
+    // Live-lock watchdog (Sec. 7.3 + docs/RESILIENCE.md): the 3-phase
+    // protocol only terminates with high probability, so no-progress rounds
+    // are tracked and escalated. The default thresholds escalate on the
+    // first fully aborted round — the historical fallback — and never give
+    // up; campaigns tighten them to exercise the whole ladder.
+    const auto action = watchdog.observe(round_processed > 0);
+    if (action == resilience::LivelockWatchdog::Action::kGiveUp &&
+        bad_count > 0) {
+      throw FaultError(watchdog.give_up_status("dmr::refine_gpu"));
+    }
+    if (action == resilience::LivelockWatchdog::Action::kEscalate &&
+        bad_count > 0) {
+      // Serialized priority arbitration: refine one bad triangle with a
+      // single-thread kernel — trivially tie-free. When the invariant gate
+      // is on, the mesh is checkpointed first and rolled back if the
+      // escalation corrupts it.
       ++st.fallbacks;
+      std::optional<Mesh> checkpoint;
+      if (opts.validate_invariants) checkpoint = m;
       dev.launch({1, 1}, [&](gpu::ThreadCtx& ctx) {
         for (Tri t = 0; t < m.num_slots(); ++t) {
           ctx.work(1);
@@ -388,9 +435,22 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
           break;
         }
       });
+      if (opts.validate_invariants) {
+        gate_mesh_invariants(m, checkpoint, "dmr::refine_gpu escalation");
+      }
+      if (injected_livelock) {
+        dev.note_recovery(
+            "livelock watchdog escalated to serialized arbitration");
+      }
+    } else if (injected_livelock) {
+      dev.note_recovery("retrying round after forced priority ties");
     }
   }
   MORPH_CHECK_MSG(bad_count == 0, "refinement hit the round limit");
+  if (opts.validate_invariants) {
+    std::optional<Mesh> no_checkpoint;
+    gate_mesh_invariants(m, no_checkpoint, "dmr::refine_gpu result");
+  }
 
   // Transfer of the refined mesh back to the host.
   dev.note_copy(m.num_slots() * (3 * sizeof(Vtx) + 3 * sizeof(Tri)) +
@@ -414,9 +474,10 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
   st.initial_bad = static_cast<std::uint64_t>(bad_count);
 
   // The centralized worklist. Sized generously; push failures fall back to
-  // the next refill sweep.
+  // the next refill sweep. Attaching the device arms the overflow fault
+  // class when a campaign is running.
   gpu::GlobalWorklist<Tri> worklist(std::max<std::size_t>(
-      1u << 16, m.num_slots() * 4));
+      1u << 16, m.num_slots() * 4), &dev);
   {
     gpu::ThreadCtx seed_ctx;  // host-side fill, charged to the first kernel
     for (Tri t = 0; t < m.num_slots(); ++t) {
@@ -432,8 +493,13 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
                      (16384.0 * dev.config().num_sms),
                  3.0, 50.0));
 
+  resilience::LivelockWatchdog watchdog(opts.watchdog_escalate_after,
+                                        opts.watchdog_give_up_after);
+
   while (bad_count > 0 && st.rounds < opts.max_rounds) {
     ++st.rounds;
+    const bool injected_livelock =
+        inject_livelock_round(dev, marks, st.rounds);
     const std::uint64_t nslots = m.num_slots();
     const gpu::LaunchConfig lc = launcher.next(dev.config());
     const std::uint64_t T = lc.total_threads();
@@ -446,6 +512,28 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
     std::vector<std::uint8_t> owns(T, 0);
     // Touched only in the sequential commit phase: plain counters.
     std::uint64_t round_processed = 0, round_aborted = 0;
+
+    // Per-thread bounded queues for the requeue pushes (Sec. 7.5): a full —
+    // or fault-injected — local queue spills to the centralized list
+    // instead of dropping the item. Drained back into the global list after
+    // the launch (local queues are per-round temporaries here).
+    std::vector<gpu::LocalWorklist<Tri>> locals;
+    if (opts.local_queues) {
+      locals.reserve(T);
+      for (std::uint64_t t = 0; t < T; ++t) {
+        locals.emplace_back(opts.local_queue_cap);
+        locals.back().set_spill_target(&worklist, &dev);
+      }
+    }
+    // Requeue a triangle for a later round; Status intentionally dropped on
+    // a full list — the refill sweep below re-discovers lost work.
+    auto requeue = [&](gpu::ThreadCtx& ctx, std::uint32_t t, Tri v) {
+      if (opts.local_queues) {
+        (void)locals[t].push(ctx, v);
+      } else {
+        (void)worklist.push(ctx, v);
+      }
+    };
 
     const gpu::Phase phases[3] = {
         // Pop + cavity building: block-parallel. Which thread pops which
@@ -493,28 +581,42 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
               for (Tri d : cav[t].tris) recycler.give(d);
             }
             for (Tri a : added) {
-              if (m.is_bad(a)) worklist.push(ctx, a);
+              if (m.is_bad(a)) requeue(ctx, t, a);
             }
             if (!m.is_deleted(cand[t]) && m.is_bad(cand[t])) {
-              worklist.push(ctx, cand[t]);  // segment-split leftovers
+              requeue(ctx, t, cand[t]);  // segment-split leftovers
             }
             bad_count += static_cast<std::int64_t>(res.new_bad) -
                          bad_in_cavity;
             ++round_processed;
           } else {
-            worklist.push(ctx, cand[t]);  // aborted: requeue
+            requeue(ctx, t, cand[t]);  // aborted: requeue
             ++round_aborted;
           }
         }, /*sequential=*/true},
     };
     dev.launch_phases(lc, phases, opts.barrier);
+    if (injected_livelock) marks.set_force_ties(false);
     st.processed += round_processed;
     st.aborted += round_aborted;
+
+    // Hand leftover local-queue items back to the centralized list (they
+    // are per-round temporaries; anything that does not fit is recovered by
+    // the refill sweep).
+    if (opts.local_queues) {
+      gpu::ThreadCtx drain_ctx;
+      for (auto& lq : locals) {
+        while (auto v = lq.pop()) (void)worklist.push(drain_ctx, *v);
+      }
+    }
     dev.note_counter("worklist.occupancy",
                      static_cast<double>(worklist.size()));
 
     // Refill sweep when pushes were dropped or the queue ran dry while bad
     // triangles remain (also the live-lock escape: the refill reorders).
+    // This sweep is the recovery ladder for dropped/overflowed pushes: no
+    // work is ever lost, because every still-bad triangle is rediscovered
+    // from the mesh itself.
     if (bad_count > 0 && worklist.size() == 0) {
       worklist.reset();
       gpu::ThreadCtx refill_ctx;
@@ -522,11 +624,21 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
         if (!m.is_deleted(t) && m.is_bad(t)) worklist.push(refill_ctx, t);
       }
       ++st.fallbacks;
+      if (dev.faults_armed()) {
+        dev.note_recovery("worklist refill sweep rediscovered bad triangles");
+      }
     }
-    // Live-lock fallback as in the topology-driven driver: a fully aborted
-    // round is resolved by refining one triangle serially.
-    if (round_processed == 0 && bad_count > 0) {
+    // Live-lock watchdog, as in the topology-driven driver.
+    const auto action = watchdog.observe(round_processed > 0);
+    if (action == resilience::LivelockWatchdog::Action::kGiveUp &&
+        bad_count > 0) {
+      throw FaultError(watchdog.give_up_status("dmr::refine_gpu_datadriven"));
+    }
+    if (action == resilience::LivelockWatchdog::Action::kEscalate &&
+        bad_count > 0) {
       ++st.fallbacks;
+      std::optional<Mesh> checkpoint;
+      if (opts.validate_invariants) checkpoint = m;
       dev.launch({1, 1}, [&](gpu::ThreadCtx& ctx) {
         for (Tri t = 0; t < m.num_slots(); ++t) {
           ctx.work(1);
@@ -544,9 +656,24 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
           break;
         }
       });
+      if (opts.validate_invariants) {
+        gate_mesh_invariants(m, checkpoint,
+                             "dmr::refine_gpu_datadriven escalation");
+      }
+      if (injected_livelock) {
+        dev.note_recovery(
+            "livelock watchdog escalated to serialized arbitration");
+      }
+    } else if (injected_livelock) {
+      dev.note_recovery("retrying round after forced priority ties");
     }
   }
   MORPH_CHECK_MSG(bad_count == 0, "data-driven refinement stalled");
+  if (opts.validate_invariants) {
+    std::optional<Mesh> no_checkpoint;
+    gate_mesh_invariants(m, no_checkpoint,
+                         "dmr::refine_gpu_datadriven result");
+  }
 
   st.final_triangles = m.num_live();
   st.wall_seconds = timer.seconds();

@@ -18,6 +18,7 @@
 #include "dmr/mesh.hpp"
 #include "gpu/cpu_runner.hpp"
 #include "gpu/device.hpp"
+#include "resilience/recovery.hpp"
 
 namespace morph::dmr {
 
@@ -43,6 +44,29 @@ struct RefineOptions {
   /// (proportional, clamped to the paper's 3x..50x SM range).
   double sm_factor = 0.0;
   std::uint64_t max_rounds = 1u << 20;
+
+  // --- resilience (docs/RESILIENCE.md) ---
+
+  /// Livelock watchdog thresholds. `watchdog_escalate_after` consecutive
+  /// no-progress rounds trigger the serialized-arbitration fallback (the
+  /// default of 1 is the historical behaviour: a fully aborted round falls
+  /// back immediately). `watchdog_give_up_after` no-progress rounds abort
+  /// the run with morph::FaultError (kLivelock); 0 never gives up.
+  std::uint32_t watchdog_escalate_after = 1;
+  std::uint32_t watchdog_give_up_after = 0;
+
+  /// Run the mesh-validity invariant checker to gate recovery: the mesh is
+  /// checkpointed before each serialized-arbitration fallback and validated
+  /// after it — a corrupt result rolls back to the checkpoint and fails with
+  /// kInvariantViolation — and validated once more after refinement
+  /// converges. Off by default (full validation is O(mesh)).
+  bool validate_invariants = false;
+
+  /// Data-driven driver only: give each thread a bounded per-thread local
+  /// worklist whose overflow spills to the centralized list (Sec. 7.5
+  /// fallback ladder) instead of pushing globally every time.
+  bool local_queues = false;
+  std::size_t local_queue_cap = 16;
 };
 
 struct RefineStats {

@@ -10,10 +10,15 @@
 
 #include <cstdint>
 
+#include "resilience/recovery.hpp"
 #include "support/check.hpp"
 
 namespace morph::telemetry {
 class TraceSink;
+}
+
+namespace morph::resilience {
+struct FaultPlan;
 }
 
 namespace morph::gpu {
@@ -75,6 +80,30 @@ struct DeviceConfig {
   /// entirely — a disabled device takes one branch per launch and its
   /// modeled statistics are bit-identical to a build without telemetry.
   telemetry::TraceSink* trace = nullptr;
+
+  /// Fault-injection campaign (resilience/fault.hpp); null (or an empty
+  /// plan) disables injection entirely — like `trace`, the disabled path is
+  /// one branch per injection point and modeled statistics are bit-identical
+  /// to a build without the resilience subsystem. While a plan is armed the
+  /// device pins every phase to sequential block order so the campaign — and
+  /// its trace — replays bit-identically for any host_workers value.
+  const resilience::FaultPlan* faults = nullptr;
+
+  /// Recovery policy for injected transient launch failures: each failed
+  /// attempt charges the wasted launch overhead plus an exponentially
+  /// growing modeled-cycle backoff; exhausting it throws morph::FaultError.
+  resilience::RetryPolicy launch_retry = {};
+
+  /// Modeled-cycle cost of one injected barrier stall, as a multiple of the
+  /// stalled barrier's own cost (the watchdog timeout a real runtime would
+  /// burn before releasing the barrier).
+  double barrier_stall_factor = 8.0;
+
+  /// Injected barrier stalls tolerated within a single launch before the
+  /// barrier is declared hung and the launch fails loudly with
+  /// morph::FaultError (kRetriesExhausted). 0 = unlimited (every stall is
+  /// absorbed as modeled watchdog timeouts).
+  std::uint32_t barrier_stall_budget = 0;
 
   /// Total concurrently resident warps (device-wide occupancy bound).
   double warp_slots() const {

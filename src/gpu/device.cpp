@@ -24,6 +24,9 @@ Device::Device(DeviceConfig cfg)
   if (cfg_.trace) {
     trace_device_ = cfg_.trace->register_device(pool_.workers());
   }
+  if (cfg_.faults && !cfg_.faults->empty()) {
+    injector_ = std::make_unique<resilience::FaultInjector>(*cfg_.faults);
+  }
 }
 
 KernelStats Device::launch(const LaunchConfig& lc, const KernelFn& fn) {
@@ -78,6 +81,35 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
   lc.validate();
   MORPH_CHECK(!phases.empty());
 
+  // Injected transient launch failure: each failed attempt burns the launch
+  // overhead plus an exponentially growing backoff (DeviceConfig::
+  // launch_retry) before the retry; exhausting the policy fails loudly.
+  // Retries are fresh injection opportunities, so a clause like launch@1x2
+  // recovers on the 3rd attempt while launch@1x9 exhausts the default
+  // 3-retry budget.
+  if (injector_) {
+    std::uint32_t attempt = 0;
+    while (injector_->should_fire(resilience::FaultClass::kLaunchFail)) {
+      ++attempt;
+      note_fault(resilience::FaultClass::kLaunchFail,
+                 "transient launch failure (attempt " +
+                     std::to_string(attempt) + ")");
+      if (cfg_.launch_retry.exhausted(attempt)) {
+        throw FaultError(Status(
+            StatusCode::kRetriesExhausted,
+            "kernel launch failed after " + std::to_string(attempt) +
+                " attempts (launch_retry.max_retries=" +
+                std::to_string(cfg_.launch_retry.max_retries) + ")"));
+      }
+      stats_.modeled_cycles +=
+          cfg_.kernel_launch_overhead + cfg_.launch_retry.backoff_for(attempt);
+    }
+    if (attempt > 0) {
+      note_recovery("launch retry succeeded after " +
+                    std::to_string(attempt) + " failed attempt(s)");
+    }
+  }
+
   // Telemetry is dormant unless a sink is attached; all event timestamps are
   // modeled cycles (the launch starts where the device's accumulated cycles
   // left off), never wall clock, so traces are deterministic.
@@ -123,6 +155,8 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
   std::vector<BlockAcc> acc(lc.blocks);
 
   double compute_cycles = 0.0;
+  double stall_cycles = 0.0;
+  std::uint32_t stalls_this_launch = 0;
   for (std::size_t pi = 0; pi < phases.size(); ++pi) {
     const Phase& phase = phases[pi];
     std::fill(acc.begin(), acc.end(), BlockAcc{});
@@ -170,7 +204,11 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
       }
     };
 
-    if (phase.sequential) {
+    // An armed fault campaign pins every phase to sequential block order:
+    // injection opportunities are then hit in one deterministic program
+    // order, so a failing campaign (and its trace) replays bit-identically
+    // across host_workers values. The cost model is unchanged.
+    if (phase.sequential || injector_) {
       for (std::uint64_t b = 0; b < lc.blocks; ++b) run_block(b);
     } else {
       pool_.run_all(lc.blocks, run_block);
@@ -240,10 +278,36 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
         sink->record(0, std::move(bev));
       }
     }
+
+    // Injected barrier stall: one barrier crossing burns the watchdog
+    // timeout (barrier_stall_factor x its own cost) before the runtime
+    // releases it. Checked per crossing so opportunity counting matches the
+    // number of barriers a campaign can target.
+    if (injector_ && pi + 1 < phases.size() &&
+        injector_->should_fire(resilience::FaultClass::kBarrierStall)) {
+      const double extra = barrier_cost * cfg_.barrier_stall_factor;
+      stall_cycles += extra;
+      note_fault(resilience::FaultClass::kBarrierStall,
+                 "barrier stall after phase " + std::to_string(pi));
+      ++stalls_this_launch;
+      if (cfg_.barrier_stall_budget > 0 &&
+          stalls_this_launch > cfg_.barrier_stall_budget) {
+        stats_.modeled_cycles += stall_cycles;
+        throw FaultError(Status(
+            StatusCode::kRetriesExhausted,
+            "global barrier declared hung after " +
+                std::to_string(stalls_this_launch) +
+                " stalls in one launch (barrier_stall_budget=" +
+                std::to_string(cfg_.barrier_stall_budget) + ")"));
+      }
+      phase_ts += extra;
+      note_recovery("barrier released after modeled watchdog timeout");
+    }
   }
 
   ks.modeled_cycles = cfg_.kernel_launch_overhead + compute_cycles +
-                      static_cast<double>(phases.size() - 1) * barrier_cost;
+                      static_cast<double>(phases.size() - 1) * barrier_cost +
+                      stall_cycles;
 
   if (sink) {
     telemetry::TraceEvent ev;
@@ -281,6 +345,33 @@ void Device::note_counter(const std::string& name, double value) {
   ev.name = name;
   ev.ts_cycles = stats_.modeled_cycles;
   ev.value = value;
+  cfg_.trace->record(0, std::move(ev));
+}
+
+void Device::note_fault(resilience::FaultClass cls, const std::string& what) {
+  ++stats_.faults_injected;
+  if (!cfg_.trace) return;
+  telemetry::TraceEvent ev;
+  ev.kind = telemetry::EventKind::kFault;
+  ev.device = trace_device_;
+  ev.launch = static_cast<std::uint32_t>(stats_.launches);
+  ev.seq = trace_seq_++;
+  ev.name = std::string("fault/") + resilience::fault_class_name(cls) +
+            ": " + what;
+  ev.ts_cycles = stats_.modeled_cycles;
+  cfg_.trace->record(0, std::move(ev));
+}
+
+void Device::note_recovery(const std::string& what) {
+  ++stats_.faults_recovered;
+  if (!cfg_.trace) return;
+  telemetry::TraceEvent ev;
+  ev.kind = telemetry::EventKind::kRecovery;
+  ev.device = trace_device_;
+  ev.launch = static_cast<std::uint32_t>(stats_.launches);
+  ev.seq = trace_seq_++;
+  ev.name = "recover/" + what;
+  ev.ts_cycles = stats_.modeled_cycles;
   cfg_.trace->record(0, std::move(ev));
 }
 

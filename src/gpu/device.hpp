@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,6 +43,7 @@
 #include "gpu/config.hpp"
 #include "gpu/stats.hpp"
 #include "gpu/thread_pool.hpp"
+#include "resilience/fault.hpp"
 
 namespace morph::gpu {
 
@@ -134,6 +136,32 @@ class Device {
   /// at the current modeled-cycle timestamp. No-op when tracing is off.
   void note_counter(const std::string& name, double value);
 
+  // --- fault injection (resilience campaigns) ---
+
+  /// True when DeviceConfig::faults armed a non-empty campaign. Components
+  /// with injection points check this first so the disabled path stays at
+  /// one branch per injection point.
+  bool faults_armed() const { return injector_ != nullptr; }
+
+  /// The campaign's injection state; null unless faults_armed().
+  resilience::FaultInjector* fault_injector() { return injector_.get(); }
+
+  /// Counts one opportunity for `cls` against the armed campaign; false when
+  /// no campaign is armed or no clause fires.
+  bool fault_should_fire(resilience::FaultClass cls) {
+    return injector_ && injector_->should_fire(cls);
+  }
+
+  /// Records an injected fault / a recovery action: bumps the DeviceStats
+  /// counter and (when tracing) emits a kFault / kRecovery trace event at
+  /// the current modeled-cycle timestamp.
+  void note_fault(resilience::FaultClass cls, const std::string& what);
+  void note_recovery(const std::string& what);
+
+  /// Charges host-side stall cycles (recovery backoff between launches) to
+  /// the modeled timeline.
+  void note_stall(double cycles) { stats_.modeled_cycles += cycles; }
+
   // --- memory accounting hooks (used by DeviceBuffer / DeviceHeap) ---
   void note_host_alloc(std::uint64_t bytes);
   void note_realloc(std::uint64_t bytes_copied);
@@ -147,6 +175,7 @@ class Device {
   DeviceConfig cfg_;
   DeviceStats stats_;
   ThreadPool pool_;
+  std::unique_ptr<resilience::FaultInjector> injector_;
   std::uint32_t trace_device_ = 0;  ///< ordinal in the attached TraceSink
   std::uint64_t trace_seq_ = 0;     ///< tiebreaker for serially recorded events
 };

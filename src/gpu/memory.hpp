@@ -17,6 +17,7 @@
 
 #include "gpu/device.hpp"
 #include "support/check.hpp"
+#include "support/status.hpp"
 
 namespace morph::gpu {
 
@@ -39,24 +40,46 @@ class DeviceBuffer {
   std::span<T> span() { return {data_.data(), data_.size()}; }
   std::span<const T> span() const { return {data_.data(), data_.size()}; }
 
+  /// Optional hard capacity limit in elements (0 = unlimited): growth beyond
+  /// it returns kCapacityExceeded from try_grow instead of allocating.
+  /// Models a device with finite memory so recovery ladders can be tested.
+  void set_limit(std::size_t limit_elems) { limit_elems_ = limit_elems; }
+  std::size_t limit() const { return limit_elems_; }
+
   /// Host-driven growth to at least `n` elements. If the current capacity is
   /// insufficient, a reallocation (alloc + device-to-device copy) is charged;
   /// `slack` over-allocates by that factor to amortize future growth, which
   /// is the knob the paper tunes to "greatly reduce" reallocations.
-  void grow(std::size_t n, double slack = 1.5) {
-    if (n <= data_.size()) return;
+  /// Returns kCapacityExceeded (leaving the buffer unchanged) when `n`
+  /// exceeds the configured limit, so callers can degrade instead of dying.
+  Status try_grow(std::size_t n, double slack = 1.5) {
+    if (n <= data_.size()) return Status::Ok();
+    if (limit_elems_ != 0 && n > limit_elems_) {
+      return Status(StatusCode::kCapacityExceeded,
+                    "DeviceBuffer growth to " + std::to_string(n) +
+                        " elems exceeds limit " +
+                        std::to_string(limit_elems_));
+    }
     if (n > data_.capacity()) {
       // Clamp so slack < 1.0 can't shrink the request below n (the resize
       // below would then reallocate again, uncharged and unmodeled). The
       // realloc's device-to-device copy moves the old *logical* contents.
-      const std::size_t new_cap = std::max(
+      std::size_t new_cap = std::max(
           n, static_cast<std::size_t>(
                  static_cast<double>(std::max(n, data_.capacity())) * slack));
+      if (limit_elems_ != 0) new_cap = std::min(new_cap, limit_elems_);
       dev_->note_realloc(data_.size() * sizeof(T));
       dev_->note_host_alloc(new_cap * sizeof(T));
       data_.reserve(new_cap);
     }
     data_.resize(n);
+    return Status::Ok();
+  }
+
+  /// try_grow that throws morph::FaultError on failure — for call sites with
+  /// no recovery ladder (the historical aborting behaviour, now typed).
+  void grow(std::size_t n, double slack = 1.5) {
+    throw_if_error(try_grow(n, slack));
   }
 
   /// Models an explicit cudaMemcpy of the whole buffer.
@@ -65,6 +88,7 @@ class DeviceBuffer {
  private:
   Device* dev_;
   std::vector<T> data_;
+  std::size_t limit_elems_ = 0;
 };
 
 /// Kernel-side chunked allocator (the paper's Kernel-Only strategy, used for
@@ -81,22 +105,71 @@ class DeviceHeap {
   std::uint64_t chunks_live() const { return live_; }
   std::uint64_t chunks_recycled() const { return recycled_; }
 
-  /// Allocates one chunk; reuses a freed chunk when available. The caller is
-  /// a kernel thread and should charge ctx.atomic_op() — device malloc
-  /// serializes — which we leave to the call site since not all callers hold
-  /// a ThreadCtx.
-  std::span<T> alloc_chunk() {
+  /// Arena budget: total chunks the kernel-side heap may hold (0 =
+  /// unlimited, the historical behaviour). A budget models the fixed-size
+  /// malloc arena CUDA gives kernel-side malloc; exceeding it is the
+  /// Kernel-Only failure the paper's Sec. 6.2 Kernel-Host fallback exists
+  /// for.
+  void set_max_chunks(std::uint64_t max_chunks) { max_chunks_ = max_chunks; }
+  std::uint64_t max_chunks() const { return max_chunks_; }
+  std::uint64_t chunks_total() const {
     std::scoped_lock lock(mu_);
+    return static_cast<std::uint64_t>(chunks_.size());
+  }
+
+  /// Host-side arena growth (the Kernel-Host degradation step): raises the
+  /// chunk budget by `extra_chunks` and charges the host-side allocation.
+  /// Only meaningful when a budget is set.
+  void grow_arena(std::uint64_t extra_chunks) {
+    std::scoped_lock lock(mu_);
+    MORPH_CHECK(max_chunks_ > 0);
+    max_chunks_ += extra_chunks;
+    dev_->note_host_alloc(extra_chunks * chunk_elems_ * sizeof(T));
+  }
+
+  /// Allocates one chunk; reuses a freed chunk when available. Returns
+  /// kArenaExhausted (and allocates nothing) when the arena budget is
+  /// reached — or when an armed fault campaign injects exhaustion at this
+  /// opportunity. The caller is a kernel thread and should charge
+  /// ctx.atomic_op() — device malloc serializes — which we leave to the call
+  /// site since not all callers hold a ThreadCtx.
+  Status try_alloc_chunk(std::span<T>* out) {
+    std::scoped_lock lock(mu_);
+    const bool fresh_needed = free_.empty();
+    if (fresh_needed) {
+      if (dev_->fault_should_fire(resilience::FaultClass::kArenaExhaust)) {
+        dev_->note_fault(resilience::FaultClass::kArenaExhaust,
+                         "device-malloc arena exhausted (injected), " +
+                             std::to_string(chunks_.size()) + " chunks held");
+        return Status(StatusCode::kArenaExhausted,
+                      "kernel-side malloc arena exhausted (injected)");
+      }
+      if (max_chunks_ != 0 && chunks_.size() >= max_chunks_) {
+        return Status(StatusCode::kArenaExhausted,
+                      "kernel-side malloc arena at budget (" +
+                          std::to_string(max_chunks_) + " chunks)");
+      }
+    }
     ++live_;
-    if (!free_.empty()) {
+    if (!fresh_needed) {
       T* p = free_.back();
       free_.pop_back();
       ++recycled_;
-      return {p, chunk_elems_};
+      *out = {p, chunk_elems_};
+      return Status::Ok();
     }
     dev_->note_device_malloc(chunk_elems_ * sizeof(T));
     chunks_.push_back(std::make_unique<T[]>(chunk_elems_));
-    return {chunks_.back().get(), chunk_elems_};
+    *out = {chunks_.back().get(), chunk_elems_};
+    return Status::Ok();
+  }
+
+  /// try_alloc_chunk that throws morph::FaultError on exhaustion — for call
+  /// sites without a Kernel-Host recovery ladder.
+  std::span<T> alloc_chunk() {
+    std::span<T> chunk;
+    throw_if_error(try_alloc_chunk(&chunk));
+    return chunk;
   }
 
   /// Returns a chunk to the free list (Explicit deletion, Sec. 7.2).
@@ -111,7 +184,8 @@ class DeviceHeap {
  private:
   Device* dev_;
   std::size_t chunk_elems_;
-  std::mutex mu_;
+  std::uint64_t max_chunks_ = 0;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<T[]>> chunks_;
   std::vector<T*> free_;
   std::uint64_t live_ = 0;

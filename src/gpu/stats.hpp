@@ -45,6 +45,10 @@ struct DeviceStats {
   std::uint64_t bytes_allocated = 0;
   std::uint64_t bytes_copied = 0;    ///< host<->device + realloc copies
 
+  // Resilience activity (zero unless a fault campaign is armed).
+  std::uint64_t faults_injected = 0;  ///< injected fault events
+  std::uint64_t faults_recovered = 0; ///< recovery actions taken
+
   /// Whole-run SIMD inefficiency, same definition as KernelStats::divergence.
   double divergence(std::uint32_t warp_size) const {
     if (total_work == 0) return 1.0;

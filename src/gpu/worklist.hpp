@@ -21,13 +21,20 @@
 
 #include "gpu/device.hpp"
 #include "support/check.hpp"
+#include "support/status.hpp"
 
 namespace morph::gpu {
 
+template <typename T>
+class GlobalWorklist;
+
 /// Per-thread queue with bounded capacity (shared-memory budget). push()
 /// returns false on overflow and counts the spill; callers fall back to the
-/// global list or to the next topology-driven sweep. Not thread-safe: a
-/// local worklist belongs to exactly one logical thread.
+/// global list or to the next topology-driven sweep — or, when a spill
+/// target is attached (set_spill_target), the overflowing item is pushed to
+/// the global worklist instead of being dropped, the graceful-degradation
+/// ladder for local-worklist overflow. Not thread-safe: a local worklist
+/// belongs to exactly one logical thread.
 template <typename T>
 class LocalWorklist {
  public:
@@ -39,6 +46,16 @@ class LocalWorklist {
   std::size_t size() const { return items_.size() - head_; }
   bool empty() const { return size() == 0; }
   std::uint64_t spills() const { return spills_; }
+  std::uint64_t spilled_to_global() const { return spilled_to_global_; }
+
+  /// Arms the overflow ladder: items that do not fit locally go to `global`
+  /// (the push is charged to the spilling thread). `dev` additionally lets
+  /// an armed fault campaign force overflow at any push opportunity
+  /// (FaultClass::kLocalWlOverflow).
+  void set_spill_target(GlobalWorklist<T>* global, Device* dev = nullptr) {
+    spill_ = global;
+    dev_ = dev;
+  }
 
   bool push(const T& v) {
     // Capacity bounds the number of *live* items, not the number of slots
@@ -57,6 +74,12 @@ class LocalWorklist {
     return true;
   }
 
+  /// Push with the overflow ladder: a full queue (or an injected overflow)
+  /// spills to the attached global worklist instead of dropping the item.
+  /// Returns kWorklistFull only when the item was truly dropped (no spill
+  /// target, or the global list is itself full).
+  Status push(ThreadCtx& ctx, const T& v);
+
   std::optional<T> pop() {
     if (empty()) return std::nullopt;
     return items_[head_++];
@@ -72,6 +95,9 @@ class LocalWorklist {
   std::size_t head_ = 0;
   std::vector<T> items_;
   std::uint64_t spills_ = 0;
+  std::uint64_t spilled_to_global_ = 0;
+  GlobalWorklist<T>* spill_ = nullptr;
+  Device* dev_ = nullptr;
 };
 
 /// Centralized worklist; every push/pop is an atomic index claim charged to
@@ -85,8 +111,10 @@ class LocalWorklist {
 template <typename T>
 class GlobalWorklist {
  public:
-  explicit GlobalWorklist(std::size_t capacity)
-      : items_(capacity), tail_(0), commit_(0), head_(0) {}
+  /// `dev` (optional) arms fault injection: an armed campaign can force
+  /// kWorklistFull at any push opportunity (FaultClass::kGlobalWlOverflow).
+  explicit GlobalWorklist(std::size_t capacity, Device* dev = nullptr)
+      : items_(capacity), dev_(dev), tail_(0), commit_(0), head_(0) {}
 
   std::size_t capacity() const { return items_.size(); }
 
@@ -100,11 +128,28 @@ class GlobalWorklist {
 
   /// Returns false when full (work is dropped to the next sweep). A failed
   /// push leaves the indices untouched.
-  bool push(ThreadCtx& ctx, const T& v) {
+  bool push(ThreadCtx& ctx, const T& v) { return try_push(ctx, v).ok(); }
+
+  /// Typed-status push: kWorklistFull when the capacity is reached or when
+  /// an armed fault campaign injects an overflow at this opportunity. A
+  /// failed push leaves the indices untouched.
+  Status try_push(ThreadCtx& ctx, const T& v) {
     ctx.atomic_op();
+    if (dev_ &&
+        dev_->fault_should_fire(resilience::FaultClass::kGlobalWlOverflow)) {
+      dev_->note_fault(resilience::FaultClass::kGlobalWlOverflow,
+                       "global worklist overflow (injected), " +
+                           std::to_string(size()) + " items enqueued");
+      return Status(StatusCode::kWorklistFull,
+                    "global worklist overflow (injected)");
+    }
     std::uint64_t slot = tail_.load(std::memory_order_relaxed);
     do {
-      if (slot >= items_.size()) return false;
+      if (slot >= items_.size()) {
+        return Status(StatusCode::kWorklistFull,
+                      "global worklist at capacity (" +
+                          std::to_string(items_.size()) + ")");
+      }
     } while (!tail_.compare_exchange_weak(slot, slot + 1,
                                           std::memory_order_relaxed));
     items_[slot] = v;
@@ -116,7 +161,7 @@ class GlobalWorklist {
                                           std::memory_order_relaxed)) {
       expected = slot;
     }
-    return true;
+    return Status::Ok();
   }
 
   /// Claims and returns the oldest published item, or nullopt when empty.
@@ -144,9 +189,36 @@ class GlobalWorklist {
 
  private:
   std::vector<T> items_;
+  Device* dev_ = nullptr;
   std::atomic<std::uint64_t> tail_;    ///< next slot to reserve
   std::atomic<std::uint64_t> commit_;  ///< slots published, <= tail_
   std::atomic<std::uint64_t> head_;    ///< next index to pop, <= commit_
 };
+
+template <typename T>
+Status LocalWorklist<T>::push(ThreadCtx& ctx, const T& v) {
+  const bool injected =
+      dev_ && dev_->fault_should_fire(resilience::FaultClass::kLocalWlOverflow);
+  if (!injected && push(v)) return Status::Ok();
+  if (injected) {
+    ++spills_;
+    dev_->note_fault(resilience::FaultClass::kLocalWlOverflow,
+                     "local worklist overflow (injected), " +
+                         std::to_string(size()) + " items held");
+  }
+  if (!spill_) {
+    return Status(StatusCode::kWorklistFull,
+                  "local worklist full and no spill target attached");
+  }
+  // Degradation ladder: overflow goes to the centralized list (paper
+  // Sec. 7.5's fallback), costing the atomic the local queue exists to
+  // avoid.
+  Status s = spill_->try_push(ctx, v);
+  if (s.ok()) {
+    ++spilled_to_global_;
+    if (injected) dev_->note_recovery("local worklist spilled item to global");
+  }
+  return s;
+}
 
 }  // namespace morph::gpu

@@ -15,6 +15,7 @@
 #include <atomic>
 
 #include "mst/mst.hpp"
+#include "support/status.hpp"
 #include "support/timer.hpp"
 
 namespace morph::mst {
@@ -166,9 +167,21 @@ MstResult mst_gpu(const graph::CsrGraph& g, gpu::Device& dev) {
       }
     });
     // Pointer jumping until the partner chains settle on representatives.
+    // Jumping halves chain lengths, so it must converge within
+    // ceil(log2(|alive|)) + 1 iterations; a bounded loop turns a corrupted
+    // partner graph (a cycle longer than the mutual pairs cycle breaking
+    // guarantees) into a loud kLivelock failure instead of a hang.
     {
+      std::uint64_t jump_budget = 2;
+      for (std::size_t a = alive.size(); a > 1; a >>= 1) ++jump_budget;
       bool jumped = true;
       while (jumped) {
+        if (jump_budget-- == 0) {
+          throw FaultError(Status(
+              StatusCode::kLivelock,
+              "mst_gpu: pointer jumping failed to converge within its "
+              "log-bound — partner graph corrupt"));
+        }
         std::atomic<bool> any{false};
         partner_prev = partner;
         dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
@@ -223,6 +236,19 @@ MstResult mst_gpu(const graph::CsrGraph& g, gpu::Device& dev) {
     if (alive.empty()) progress = false;
   }
   res.components += static_cast<std::uint32_t>(alive.size());
+
+  // Invariant gate under fault campaigns: a run that survived injected
+  // faults must still have produced a genuine minimum spanning forest
+  // (acyclic, right component count, edges present in g). Checked only when
+  // a campaign is armed — verification walks the whole forest.
+  if (dev.faults_armed()) {
+    if (!verify_forest(g, res)) {
+      throw FaultError(Status(
+          StatusCode::kInvariantViolation,
+          "mst_gpu: recovered run did not produce a valid spanning forest"));
+    }
+    dev.note_recovery("forest invariants verified after fault campaign");
+  }
 
   res.counted_work = dev.stats().total_work;
   res.wall_seconds = timer.seconds();

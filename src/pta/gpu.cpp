@@ -13,6 +13,7 @@
 #include "core/adaptive.hpp"
 #include "gpu/memory.hpp"
 #include "pta/solve.hpp"
+#include "support/status.hpp"
 #include "support/timer.hpp"
 
 namespace morph::pta {
@@ -48,11 +49,18 @@ class ChunkList {
   }
 
   /// Inserts u if absent; allocates a new chunk from the heap when the
-  /// current one is full. Returns true when u is new.
-  bool insert(gpu::DeviceHeap<Var>& heap, Var u, std::uint64_t* ops) {
-    if (contains(u, used_, ops)) return false;
+  /// current one is full. Sets *added when u is new. A denied allocation
+  /// (arena budget or injected exhaustion) leaves the list untouched and
+  /// returns kArenaExhausted so the caller can degrade to Kernel-Host
+  /// growth instead of dying mid-kernel.
+  Status try_insert(gpu::DeviceHeap<Var>& heap, Var u, std::uint64_t* ops,
+                    bool* added) {
+    *added = false;
+    if (contains(u, used_, ops)) return Status::Ok();
     if (chunks_.empty() || used_ == chunks_.back().size()) {
-      chunks_.push_back(heap.alloc_chunk());
+      std::span<Var> chunk;
+      if (Status s = heap.try_alloc_chunk(&chunk); !s.ok()) return s;
+      chunks_.push_back(chunk);
       used_ = 0;
       if (ops) *ops += 8;  // device malloc path
     }
@@ -63,7 +71,8 @@ class ChunkList {
     *it = u;
     ++used_;
     if (ops) *ops += 2;
-    return true;
+    *added = true;
+    return Status::Ok();
   }
 
   template <typename F>
@@ -95,10 +104,48 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
 
   PtsSets pts(n);
   gpu::DeviceHeap<Var> heap(dev, opts.chunk_elems);
+  if (opts.arena_max_chunks > 0) heap.set_max_chunks(opts.arena_max_chunks);
   std::vector<ChunkList> nbr(n);  // incoming (pull) or outgoing (push)
   std::vector<std::uint8_t> changed_cur(n, 0), changed_next(n, 0);
   std::vector<std::uint8_t> touched(n, 0);  // got a new edge this round
   std::mutex list_mu;  // host-side guard; cost is charged via the model
+
+  // --- Kernel-Only -> Kernel-Host degradation (docs/RESILIENCE.md) ---
+  // A denied chunk allocation sets allocation pressure (under list_mu) and
+  // skips that edge; between launches the host grows the arena under the
+  // bounded-retry policy and the denied inserts replay on a full sweep.
+  // The fixed point is unique, so the degraded run converges to the same
+  // solution.
+  bool arena_pressure = false;
+  std::uint64_t arena_attempt = 0;
+  auto insert_edge = [&](Var list, Var value, std::uint64_t* ops) {
+    bool added = false;
+    if (!nbr[list].try_insert(heap, value, ops, &added).ok()) {
+      arena_pressure = true;
+    }
+    return added;
+  };
+  auto recover_arena = [&] {
+    arena_pressure = false;
+    ++arena_attempt;
+    if (opts.arena_retry.exhausted(arena_attempt)) {
+      throw FaultError(Status(
+          StatusCode::kRetriesExhausted,
+          "pta::solve_gpu: arena growth retries exhausted — Kernel-Host "
+          "degradation could not satisfy chunk demand"));
+    }
+    dev.note_stall(opts.arena_retry.backoff_for(arena_attempt));
+    if (heap.max_chunks() > 0) {
+      const std::uint64_t extra =
+          opts.arena_growth_chunks > 0
+              ? opts.arena_growth_chunks
+              : std::max<std::uint64_t>(heap.max_chunks() / 2, 1);
+      heap.grow_arena(extra);
+    }
+    dev.note_recovery(
+        "pta arena exhausted: degraded to Kernel-Host growth, replaying "
+        "denied inserts");
+  };
 
   // Pull-phase guard for the points-to sets: on the GPU the pull model needs
   // no synchronization (stale reads are safe under monotonicity), but on the
@@ -158,32 +205,41 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
     });
   }
 
-  // Static copy edges (evaluate phase of the first iteration).
+  // Static copy edges (evaluate phase of the first iteration). Replayed
+  // under allocation pressure: try_insert is idempotent, so a re-run only
+  // adds the edges the previous attempt was denied.
   {
     const gpu::LaunchConfig lc = launcher.next(dev.config());
     const std::uint64_t T = lc.total_threads();
-    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
-      for (std::uint64_t i = ctx.tid(); i < copy.size(); i += T) {
-        const Constraint& c = copy[i];
-        ctx.work(1);
-        if (c.dst == c.src) continue;
-        std::uint64_t ops = 0;
-        std::scoped_lock lock(list_mu);
-        const bool added =
-            opts.push_based ? nbr[c.src].insert(heap, c.dst, &ops)
-                            : nbr[c.dst].insert(heap, c.src, &ops);
-        if (added) {
-          ++st.edges_added;
-          touched[opts.push_based ? c.src : c.dst] = 1;
+    bool rerun = true;
+    while (rerun) {
+      dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+        for (std::uint64_t i = ctx.tid(); i < copy.size(); i += T) {
+          const Constraint& c = copy[i];
+          ctx.work(1);
+          if (c.dst == c.src) continue;
+          std::uint64_t ops = 0;
+          std::scoped_lock lock(list_mu);
+          const bool added = opts.push_based
+                                 ? insert_edge(c.src, c.dst, &ops)
+                                 : insert_edge(c.dst, c.src, &ops);
+          if (added) {
+            ++st.edges_added;
+            touched[opts.push_based ? c.src : c.dst] = 1;
+          }
+          ctx.work(ops);
+          if (opts.push_based) ctx.atomic_op();  // shared target list
         }
-        ctx.work(ops);
-        if (opts.push_based) ctx.atomic_op();  // shared target list
-      }
-    });
+      });
+      rerun = arena_pressure;
+      if (arena_pressure) recover_arena();
+    }
+    arena_attempt = 0;
   }
 
   std::vector<Var> snapshot;
   bool progress = true;
+  bool full_sweep = false;  // replay all constraints after a pressured round
   while (progress) {
     ++st.iterations;
     const gpu::LaunchConfig lc = launcher.next(dev.config());
@@ -198,7 +254,7 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
         const Constraint& c = loadstore[i];
         ctx.work(1);
         const Var ptr = (c.kind == ConstraintKind::kLoad) ? c.src : c.dst;
-        if (!changed_cur[ptr] && st.iterations > 1) continue;
+        if (!full_sweep && !changed_cur[ptr] && st.iterations > 1) continue;
         ctx.global_access();
         std::scoped_lock lock(list_mu);
         for (Var raw : pts[ptr]) {
@@ -210,14 +266,14 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
           if (c.kind == ConstraintKind::kLoad) {
             // p = *q: edge v -> p.
             if (v == c.dst) continue;
-            added = opts.push_based ? nbr[v].insert(heap, c.dst, &ops)
-                                    : nbr[c.dst].insert(heap, v, &ops);
+            added = opts.push_based ? insert_edge(v, c.dst, &ops)
+                                    : insert_edge(c.dst, v, &ops);
             if (added) touched[opts.push_based ? v : c.dst] = 1;
           } else {
             // *p = q: edge q -> v.
             if (v == c.src) continue;
-            added = opts.push_based ? nbr[c.src].insert(heap, v, &ops)
-                                    : nbr[v].insert(heap, c.src, &ops);
+            added = opts.push_based ? insert_edge(c.src, v, &ops)
+                                    : insert_edge(v, c.src, &ops);
             if (added) touched[opts.push_based ? c.src : v] = 1;
           }
           if (added) {
@@ -229,6 +285,15 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
         }
       }
     });
+
+    // Kernel-Host fallback: grow the arena before the next sweep, which
+    // will re-evaluate every constraint so the denied inserts replay.
+    full_sweep = arena_pressure;
+    if (arena_pressure) {
+      recover_arena();
+    } else {
+      arena_attempt = 0;
+    }
 
     // --- phase B: propagate points-to information along the edges ---
     if (!opts.push_based) {
@@ -294,7 +359,20 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
     std::fill(touched.begin(), touched.end(), 0);
     changed_cur.swap(changed_next);
     std::fill(changed_next.begin(), changed_next.end(), 0);
-    progress = round_added > 0 || round_grew.load() > 0;
+    progress = round_added > 0 || round_grew.load() > 0 || full_sweep;
+  }
+
+  // Invariant gate under fault campaigns: the survived run must still be a
+  // sound fixed point. Checked only when a campaign is armed — the closure
+  // walk re-visits every constraint.
+  if (dev.faults_armed()) {
+    if (!check_solution(cs, pts, opts.pointer_rep)) {
+      throw FaultError(
+          Status(StatusCode::kInvariantViolation,
+                 "pta::solve_gpu: recovered solution violates points-to "
+                 "soundness"));
+    }
+    dev.note_recovery("points-to soundness verified after fault campaign");
   }
 
   // Copy the solution back to the host.

@@ -9,6 +9,7 @@
 #include "gpu/cpu_runner.hpp"
 #include "gpu/device.hpp"
 #include "pta/constraints.hpp"
+#include "resilience/recovery.hpp"
 
 namespace morph::pta {
 
@@ -34,6 +35,22 @@ struct PtaOptions {
   /// (pta/cycle_elim.hpp): dynamically discovered edges route their
   /// pointer endpoint through it. Null = identity.
   const std::vector<Var>* pointer_rep = nullptr;
+
+  // --- resilience (docs/RESILIENCE.md) ---
+
+  /// Kernel-Only arena budget in chunks; 0 = unbounded (no degradation
+  /// needed). When the budget — or an injected kArenaExhaust fault — denies
+  /// a kernel-side chunk allocation, the solver degrades to the paper's
+  /// Kernel-Host strategy: the host grows the arena between launches and
+  /// the denied inserts replay on the next sweep.
+  std::uint64_t arena_max_chunks = 0;
+  /// Chunks added per Kernel-Host growth step; 0 = half the current budget
+  /// (at least one chunk).
+  std::uint64_t arena_growth_chunks = 0;
+  /// Bounded retry + exponential backoff for arena growth; retries count
+  /// consecutive pressured launches and reset once a launch completes
+  /// without allocation pressure.
+  resilience::RetryPolicy arena_retry = {};
 };
 
 /// Naive iterate-to-fixpoint reference solver (the "Serial" column).
@@ -50,5 +67,12 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
 
 /// Set equality of two solutions (the fixed point is unique).
 bool equal_pts(const PtsSets& a, const PtsSets& b);
+
+/// Soundness check of a solution against the constraint set: every set is
+/// sorted and duplicate-free and the subset-closure of all four constraint
+/// kinds holds (edges routed through `pointer_rep` exactly as solve_gpu
+/// routes them). Used to gate recovery under fault campaigns.
+bool check_solution(const ConstraintSet& cs, const PtsSets& pts,
+                    const std::vector<Var>* pointer_rep = nullptr);
 
 }  // namespace morph::pta

@@ -155,4 +155,33 @@ std::uint32_t FactorGraph::alive_clauses() const {
   return n;
 }
 
+bool check_graph_consistent(const FactorGraph& g) {
+  const Formula& f = *g.formula;
+  for (std::uint32_t e = 0; e < g.num_edges(); ++e) {
+    if (!g.edge_alive[e]) continue;
+    if (!g.clause_alive[g.clause_of_edge(e)]) return false;
+    if (!g.lit_alive[f.clause_lit[e]]) return false;
+    if (!(g.eta[e] >= 0.0 && g.eta[e] <= 1.0)) return false;  // also NaN
+  }
+  for (Clause c = 0; c < f.num_clauses(); ++c) {
+    if (!g.clause_alive[c]) continue;
+    bool any = false;
+    for (std::uint32_t s = 0; s < g.k; ++s) {
+      if (g.edge_alive[c * g.k + s]) any = true;
+    }
+    if (!any) return false;  // alive clause with no satisfiable occurrence
+  }
+  for (Lit i = 0; i < f.num_lits; ++i) {
+    // A decimated (dead) literal must carry a definite value; an alive one
+    // may be -1 or already filled by the WalkSAT endgame.
+    if (!g.lit_alive[i] && g.assignment[i] != 0 && g.assignment[i] != 1) {
+      return false;
+    }
+    for (std::uint32_t x = g.lit_off[i]; x < g.lit_off[i + 1]; ++x) {
+      if (f.clause_lit[g.lit_edge[x]] != i) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace morph::sp

@@ -95,4 +95,12 @@ struct FactorGraph {
   std::uint32_t alive_clauses() const;
 };
 
+/// Factor-graph consistency invariant (docs/RESILIENCE.md): tombstone
+/// marking must be coherent — an alive edge implies an alive clause and an
+/// alive literal endpoint, a decimated literal carries a definite 0/1
+/// assignment, alive surveys stay in [0,1], and the literal->edge CSR
+/// still inverts the clause->literal table. Gates recovery after a fault
+/// campaign.
+bool check_graph_consistent(const FactorGraph& g);
+
 }  // namespace morph::sp

@@ -6,6 +6,7 @@
 #include <functional>
 #include <mutex>
 
+#include "support/status.hpp"
 #include "support/timer.hpp"
 
 namespace morph::sp {
@@ -563,6 +564,22 @@ SpResult solve_gpu(const Formula& f, gpu::Device& dev,
   };
 
   SpResult res = run_schedule(g, opts, hooks, work, rng);
+
+  // Invariant gate under fault campaigns: the factor graph's tombstone
+  // marking must still be coherent, and a claimed solution must actually
+  // satisfy the formula.
+  if (dev.faults_armed()) {
+    if (!check_graph_consistent(g) ||
+        (res.solved && !check_assignment(f, res.assignment))) {
+      throw FaultError(
+          Status(StatusCode::kInvariantViolation,
+                 "sp::solve_gpu: factor-graph consistency violated after "
+                 "fault campaign"));
+    }
+    dev.note_recovery(
+        "factor-graph consistency verified after fault campaign");
+  }
+
   res.counted_work = work;
   res.wall_seconds = timer.seconds();
   res.modeled_cycles = dev.stats().modeled_cycles;

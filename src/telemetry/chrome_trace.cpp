@@ -18,6 +18,8 @@ const char* kind_label(EventKind k) {
     case EventKind::kBarrier: return "barrier";
     case EventKind::kBlock: return "block";
     case EventKind::kCounter: return "counter";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRecovery: return "recovery";
   }
   return "?";
 }
@@ -107,6 +109,8 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
         trace_events.push_back(span_event(ev, 0, ev.ts_cycles, us_per_cycle));
         break;
       case EventKind::kBarrier:
+      case EventKind::kFault:
+      case EventKind::kRecovery:
         trace_events.push_back(span_event(ev, 0, ev.ts_cycles, us_per_cycle));
         break;
       case EventKind::kBlock: {

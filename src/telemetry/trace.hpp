@@ -30,6 +30,8 @@ enum class EventKind : std::uint8_t {
   kBarrier = 2,  ///< intra-kernel global barrier after a phase
   kBlock = 3,    ///< one block's execution within a phase (optional)
   kCounter = 4,  ///< sampled counter (worklist occupancy, device memory)
+  kFault = 5,    ///< injected fault (resilience campaign)
+  kRecovery = 6, ///< recovery action taken for an earlier fault
 };
 
 struct TraceEvent {
