@@ -5,7 +5,10 @@
 // that is accessed by all threads. A naive implementation of such a
 // worklist severely limits performance because work elements must be added
 // and removed atomically." This bench runs both drivers on the same mesh
-// and reports the atomics bill and modeled time.
+// and reports the atomics bill and modeled time. A third arm reruns the
+// data-driven driver with --worklist-mode=sharded forced on, so the
+// centralized-vs-sharded contention split (wl-contended ops vs local ring
+// ops) is visible in one report whatever mode the harness was given.
 #include "bench_common.hpp"
 #include "dmr/delaunay.hpp"
 #include "dmr/refine.hpp"
@@ -21,7 +24,7 @@ int run_bench(int argc, char** argv) {
   dmr::Mesh base = dmr::generate_input_mesh(n, 27);
 
   Table t({"driver", "model-ms", "rounds", "processed", "abort-ratio",
-           "atomics x1e3", "bad after"});
+           "atomics x1e3", "wl-contended x1e3", "steals", "bad after"});
   {
     dmr::Mesh m = base;
     gpu::Device dev(bench.device_config());
@@ -32,6 +35,8 @@ int run_bench(int argc, char** argv) {
                std::to_string(st.rounds), std::to_string(st.processed),
                Table::num(st.abort_ratio(), 2),
                Table::num(dev.stats().atomics / 1e3, 1),
+               Table::num(dev.stats().wl_contended_ops / 1e3, 1),
+               std::to_string(dev.stats().wl_steals),
                std::to_string(bad_after)});
     auto& rep = bench.add_row("topology-driven");
     bench.add_device_metrics(rep, dev);
@@ -42,7 +47,9 @@ int run_bench(int argc, char** argv) {
   }
   {
     dmr::Mesh m = base;
-    gpu::Device dev(bench.device_config());
+    gpu::DeviceConfig cfg = bench.device_config();
+    cfg.worklist_mode = gpu::WorklistMode::kCentralized;
+    gpu::Device dev(cfg);
     const dmr::RefineStats st = dmr::refine_gpu_datadriven(m, dev);
     const std::size_t bad_after = m.compute_all_bad(30.0);
     t.add_row({"data-driven (central worklist)",
@@ -50,8 +57,32 @@ int run_bench(int argc, char** argv) {
                std::to_string(st.rounds), std::to_string(st.processed),
                Table::num(st.abort_ratio(), 2),
                Table::num(dev.stats().atomics / 1e3, 1),
+               Table::num(dev.stats().wl_contended_ops / 1e3, 1),
+               std::to_string(dev.stats().wl_steals),
                std::to_string(bad_after)});
     auto& rep = bench.add_row("data-driven");
+    bench.add_device_metrics(rep, dev);
+    rep.metric("rounds", static_cast<double>(st.rounds))
+        .metric("processed", static_cast<double>(st.processed))
+        .metric("abort_ratio", st.abort_ratio())
+        .metric("bad_after", static_cast<double>(bad_after));
+  }
+  {
+    dmr::Mesh m = base;
+    gpu::DeviceConfig cfg = bench.device_config();
+    cfg.worklist_mode = gpu::WorklistMode::kSharded;
+    gpu::Device dev(cfg);
+    const dmr::RefineStats st = dmr::refine_gpu_datadriven(m, dev);
+    const std::size_t bad_after = m.compute_all_bad(30.0);
+    t.add_row({"data-driven (sharded worklist)",
+               bench.fmt_ms(bench.model_ms(st.modeled_cycles)),
+               std::to_string(st.rounds), std::to_string(st.processed),
+               Table::num(st.abort_ratio(), 2),
+               Table::num(dev.stats().atomics / 1e3, 1),
+               Table::num(dev.stats().wl_contended_ops / 1e3, 1),
+               std::to_string(dev.stats().wl_steals),
+               std::to_string(bad_after)});
+    auto& rep = bench.add_row("data-driven-sharded");
     bench.add_device_metrics(rep, dev);
     rep.metric("rounds", static_cast<double>(st.rounds))
         .metric("processed", static_cast<double>(st.processed))

@@ -18,6 +18,12 @@
 //   --faults=<spec>     arm a deterministic fault-injection campaign on every
 //                       device the bench constructs (docs/RESILIENCE.md);
 //                       --fault-seed=<n> keys its probabilistic clauses.
+//   --worklist-mode=M   worklist organization for the data-driven drivers:
+//                       "centralized" (default; one GlobalWorklist) or
+//                       "sharded" (per-block shard rings with deterministic
+//                       stealing; see DESIGN.md "Sharded worklists").
+//                       --worklist-shards=N overrides the shard count
+//                       (0 = auto, 4 per SM).
 //
 // Cross-platform timing claims use the simulator's modeled cycles (reported
 // as "model-ms"); wall-clock seconds of the real computation are printed
@@ -53,14 +59,28 @@ class Bench {
         const std::string& paper_ref,
         std::vector<std::string> extra_flags = {})
       : args_(argc, argv) {
-    std::vector<std::string> known = {"host-workers", "json",     "trace",
-                                      "trace-blocks", "clock-ghz"};
+    std::vector<std::string> known = {"host-workers", "json",      "trace",
+                                      "trace-blocks", "clock-ghz",
+                                      "worklist-mode", "worklist-shards"};
     const auto& fault_flags = resilience::fault_cli_flags();
     known.insert(known.end(), fault_flags.begin(), fault_flags.end());
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     args_.warn_unknown(known, std::cerr);
 
     base_cfg_.host_workers = host_workers_arg(args_);
+    const std::string wm = args_.get("worklist-mode", "centralized");
+    if (!gpu::parse_worklist_mode(wm, &base_cfg_.worklist_mode)) {
+      std::cerr << "error: --worklist-mode must be 'centralized' or "
+                   "'sharded' (got '"
+                << wm << "')\n";
+      std::exit(2);
+    }
+    const int ws = args_.get_int("worklist-shards", 0);
+    if (ws < 0) {
+      std::cerr << "error: --worklist-shards must be >= 0 (0 = auto)\n";
+      std::exit(2);
+    }
+    base_cfg_.worklist_shards = static_cast<std::uint32_t>(ws);
     fault_plan_ = resilience::fault_plan_from_args(
         args_.get("faults", ""),
         static_cast<std::uint64_t>(args_.get_int("fault-seed", 1)));
@@ -133,7 +153,14 @@ class Bench {
         .metric("device_mallocs", static_cast<double>(st.device_mallocs))
         .metric("reallocs", static_cast<double>(st.reallocs))
         .metric("bytes_allocated", static_cast<double>(st.bytes_allocated))
-        .metric("bytes_copied", static_cast<double>(st.bytes_copied));
+        .metric("bytes_copied", static_cast<double>(st.bytes_copied))
+        .metric("wl_local_ops", static_cast<double>(st.wl_local_ops))
+        .metric("wl_contended_ops", static_cast<double>(st.wl_contended_ops))
+        .metric("wl_steals", static_cast<double>(st.wl_steals))
+        .metric("wl_spills", static_cast<double>(st.wl_spills))
+        .metric("wl_contention_cycles",
+                st.wl_contention_cycles(dev.config().atomic_cost,
+                                        dev.config().atomic_concurrency));
   }
 
   /// Writes --json / --trace outputs (if requested). Returns the process

@@ -46,6 +46,49 @@ if "$BUILD"/bench/fig11_mst --faults=bogus > /dev/null 2>&1; then
   exit 1
 fi
 
+echo "== tier 1: sharded worklist (cross-worker byte-identity) =="
+# The sharded fast path's contract: answers, modeled stats, and telemetry
+# traces are byte-identical for any --host-workers value (owner-only pops,
+# block-order publication, host-side rebalance — DESIGN.md 6.1).
+for spec in "fig6_dmr_runtime --scale=64" "fig10_pta" "fig11_mst --scale=16"; do
+  set -- $spec
+  name="$1"; shift
+  "$BUILD/bench/$name" "$@" --worklist-mode=sharded --host-workers=1 \
+      --json="$SMOKE/s1.json" > /dev/null
+  "$BUILD/bench/$name" "$@" --worklist-mode=sharded --host-workers=4 \
+      --json="$SMOKE/s4.json" > /dev/null
+  "$BUILD"/tools/morph-report diff "$SMOKE/s1.json" "$SMOKE/s4.json"
+done
+"$BUILD"/bench/fig6_dmr_runtime --scale=64 --worklist-mode=sharded \
+    --host-workers=1 --trace="$SMOKE/t1.json" > /dev/null 2>&1
+"$BUILD"/bench/fig6_dmr_runtime --scale=64 --worklist-mode=sharded \
+    --host-workers=4 --trace="$SMOKE/t4.json" > /dev/null 2>&1
+cmp "$SMOKE/t1.json" "$SMOKE/t4.json"
+# A bad mode must fail loudly with the parse exit code (2).
+if "$BUILD"/bench/fig11_mst --worklist-mode=bogus > /dev/null 2>&1; then
+  echo "ERROR: malformed --worklist-mode was accepted" >&2
+  exit 1
+fi
+
+echo "== tier 1: perf (bench snapshot vs committed baseline) =="
+# Full CI-sized bench sweep diffed against the committed snapshot. Modeled
+# metrics are deterministic, so any drift is a real change: the default gate
+# is tight, with a little slack on the aggregate cycle counts so a
+# legitimately-moved metric points at the PR that moved it (regenerate the
+# baseline with scripts/bench_snapshot.sh when the move is intentional).
+BASELINE="BENCH_2026-08-05.json"
+if [[ -f "$BASELINE" ]]; then
+  scripts/bench_snapshot.sh "$BUILD" "$SMOKE/snapshot.json" > /dev/null
+  "$BUILD"/tools/morph-report diff "$BASELINE" "$SMOKE/snapshot.json" \
+      --threshold=0.02 \
+      --threshold-modeled_cycles=0.05 \
+      --threshold-model_ms=0.05 \
+      --threshold-total_work=0.05 \
+      --threshold-warp_steps=0.05
+else
+  echo "baseline $BASELINE missing; skipping perf gate" >&2
+fi
+
 if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread - -o /dev/null 2>/dev/null; then
   echo "== tier 1: TSan build + ctest -L 'gpu|core|dmr' =="
   cmake -B "$TSAN_BUILD" -S . -DMORPH_TSAN=ON

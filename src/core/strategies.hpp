@@ -32,22 +32,36 @@ enum class DeletionStrategy {
 
 /// Lock-free pool of recyclable element slots. Threads freeing slots push
 /// them; threads creating elements try take() before extending the array.
+///
+/// Concurrency: multi-producer multi-consumer, with the same claim-then-
+/// publish index protocol as gpu::GlobalWorklist. A give() claims a slot
+/// with a capacity-bounded CAS on `tail_` (so a full pool never publishes
+/// an index past capacity, even transiently, under any number of
+/// overflowing producers), writes the entry, then publishes it by advancing
+/// `commit_` in claim order; take() is bounded by `commit_`, so it can
+/// neither overrun the published entries nor read a write in flight.
 class SlotRecycler {
  public:
   explicit SlotRecycler(std::size_t capacity)
-      : slots_(capacity), tail_(0), head_(0) {}
+      : slots_(capacity), tail_(0), commit_(0), head_(0) {}
 
   std::size_t capacity() const { return slots_.size(); }
 
   /// Records a freed slot. Returns false if the pool is full (the slot is
   /// then simply leaked to the mark strategy — safe, just less thrifty).
   bool give(std::uint32_t slot) {
-    const std::uint64_t t = tail_.fetch_add(1, std::memory_order_acq_rel);
-    if (t >= slots_.size()) {
-      tail_.store(slots_.size(), std::memory_order_relaxed);
-      return false;
+    std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    do {
+      if (t >= slots_.size()) return false;
+    } while (!tail_.compare_exchange_weak(t, t + 1,
+                                          std::memory_order_relaxed));
+    slots_[t].store(slot, std::memory_order_relaxed);
+    std::uint64_t expected = t;
+    while (!commit_.compare_exchange_weak(expected, t + 1,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+      expected = t;
     }
-    slots_[t].store(slot, std::memory_order_release);
     return true;
   }
 
@@ -55,31 +69,35 @@ class SlotRecycler {
   std::optional<std::uint32_t> take() {
     for (;;) {
       std::uint64_t h = head_.load(std::memory_order_relaxed);
-      const std::uint64_t t = tail_.load(std::memory_order_acquire);
-      if (h >= t || h >= slots_.size()) return std::nullopt;
+      const std::uint64_t c =
+          std::min<std::uint64_t>(commit_.load(std::memory_order_acquire),
+                                  slots_.size());
+      if (h >= c) return std::nullopt;
       if (head_.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel)) {
-        return slots_[h].load(std::memory_order_acquire);
+        return slots_[h].load(std::memory_order_relaxed);
       }
     }
   }
 
   std::size_t available() const {
-    const std::uint64_t t =
-        std::min<std::uint64_t>(tail_.load(std::memory_order_relaxed),
+    const std::uint64_t c =
+        std::min<std::uint64_t>(commit_.load(std::memory_order_relaxed),
                                 slots_.size());
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    return t > h ? static_cast<std::size_t>(t - h) : 0;
+    return c > h ? static_cast<std::size_t>(c - h) : 0;
   }
 
   void clear() {
     tail_.store(0, std::memory_order_relaxed);
+    commit_.store(0, std::memory_order_relaxed);
     head_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::vector<std::atomic<std::uint32_t>> slots_;
-  std::atomic<std::uint64_t> tail_;
-  std::atomic<std::uint64_t> head_;
+  std::atomic<std::uint64_t> tail_;    ///< next slot to reserve
+  std::atomic<std::uint64_t> commit_;  ///< entries published, <= tail_
+  std::atomic<std::uint64_t> head_;    ///< next index to take, <= commit_
 };
 
 }  // namespace morph::core

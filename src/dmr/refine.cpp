@@ -475,15 +475,36 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
 
   // The centralized worklist. Sized generously; push failures fall back to
   // the next refill sweep. Attaching the device arms the overflow fault
-  // class when a campaign is running.
-  gpu::GlobalWorklist<Tri> worklist(std::max<std::size_t>(
-      1u << 16, m.num_slots() * 4), &dev);
-  {
-    gpu::ThreadCtx seed_ctx;  // host-side fill, charged to the first kernel
-    for (Tri t = 0; t < m.num_slots(); ++t) {
-      if (!m.is_deleted(t) && m.is_bad(t)) worklist.push(seed_ctx, t);
-    }
+  // class when a campaign is running. Under WorklistMode::kSharded it is
+  // demoted to the shards' spill target: work normally lives in the
+  // ShardedWorklist, partitioned so a block pops (and requeues to) its own
+  // shards, and the centralized atomic index is off the hot path.
+  const bool sharded =
+      dev.config().worklist_mode == gpu::WorklistMode::kSharded;
+  const std::size_t wl_cap =
+      std::max<std::size_t>(1u << 16, m.num_slots() * 4);
+  gpu::GlobalWorklist<Tri> worklist(wl_cap, &dev);
+  std::optional<gpu::ShardedWorklist<Tri>> shards;
+  if (sharded) {
+    const std::size_t S = dev.config().resolved_worklist_shards();
+    shards.emplace(S, wl_cap / S + 1, &dev, &worklist);
   }
+  // Host-side fill (charges are discarded): bad triangles go to the shard of
+  // their pseudo-partition (slot ranges are spatial after the layout pass),
+  // or to the centralized list.
+  const auto seed_worklist = [&] {
+    gpu::ThreadCtx seed_ctx;
+    for (Tri t = 0; t < m.num_slots(); ++t) {
+      if (m.is_deleted(t) || !m.is_bad(t)) continue;
+      if (sharded) {
+        (void)shards->push(seed_ctx, shards->partition_shard(t, m.num_slots()),
+                           t);
+      } else {
+        worklist.push(seed_ctx, t);
+      }
+    }
+  };
+  seed_worklist();
 
   core::SlotRecycler recycler(opts.recycle ? 1u << 22 : 0u);
   core::MarkTable marks(m.num_slots());
@@ -526,9 +547,14 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
       }
     }
     // Requeue a triangle for a later round; Status intentionally dropped on
-    // a full list — the refill sweep below re-discovers lost work.
+    // a full list — the refill sweep below re-discovers lost work. Sharded:
+    // new work targets the committing block's own shard (pseudo-partition
+    // locality); a full shard spills to the centralized list and is drained
+    // back by the post-launch rebalance.
     auto requeue = [&](gpu::ThreadCtx& ctx, std::uint32_t t, Tri v) {
-      if (opts.local_queues) {
+      if (sharded) {
+        (void)shards->push(ctx, shards->home_shard(ctx.block(), lc.blocks), v);
+      } else if (opts.local_queues) {
         (void)locals[t].push(ctx, v);
       } else {
         (void)worklist.push(ctx, v);
@@ -536,16 +562,19 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
     };
 
     const gpu::Phase phases[3] = {
-        // Pop + cavity building: block-parallel. Which thread pops which
-        // item depends on the pop interleaving, so — unlike the
-        // topology-driven driver — the data-driven schedule is not
-        // bit-deterministic across host_workers values; the worklist
-        // guarantees only that no item is lost or duplicated.
+        // Pop + cavity building: block-parallel. Centralized: which thread
+        // pops which item depends on the pop interleaving, so the schedule
+        // is not bit-deterministic across host_workers values; the worklist
+        // guarantees only that no item is lost or duplicated. Sharded: a
+        // block pops only from the shards it owns and its threads run in
+        // ascending order on one host worker, so the whole schedule — and
+        // every downstream stat — is bit-identical for any host_workers.
         {[&](gpu::ThreadCtx& ctx) {
           const std::uint32_t t = ctx.tid();
           // Pop until a live bad triangle appears (stale ids are skipped).
           for (;;) {
-            const auto popped = worklist.pop(ctx);
+            const auto popped =
+                sharded ? shards->pop_owned(ctx, lc.blocks) : worklist.pop(ctx);
             if (!popped) return;
             const Tri x = *popped;
             ctx.work(1);
@@ -609,20 +638,27 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
         while (auto v = lq.pop()) (void)worklist.push(drain_ctx, *v);
       }
     }
+    // Sharded: the deterministic steal. Spilled items are drained back from
+    // the centralized list and starved shards are fed from rich ones, all
+    // host-side in shard order, so the redistribution (and its steal/spill
+    // counters) replays identically for any host_workers value.
+    if (sharded) shards->rebalance();
     dev.note_counter("worklist.occupancy",
-                     static_cast<double>(worklist.size()));
+                     static_cast<double>(sharded ? shards->size()
+                                                 : worklist.size()));
 
     // Refill sweep when pushes were dropped or the queue ran dry while bad
     // triangles remain (also the live-lock escape: the refill reorders).
     // This sweep is the recovery ladder for dropped/overflowed pushes: no
     // work is ever lost, because every still-bad triangle is rediscovered
     // from the mesh itself.
-    if (bad_count > 0 && worklist.size() == 0) {
+    const std::size_t wl_remaining =
+        (sharded ? shards->size() : worklist.size()) +
+        (sharded ? worklist.size() : 0);
+    if (bad_count > 0 && wl_remaining == 0) {
       worklist.reset();
-      gpu::ThreadCtx refill_ctx;
-      for (Tri t = 0; t < m.num_slots(); ++t) {
-        if (!m.is_deleted(t) && m.is_bad(t)) worklist.push(refill_ctx, t);
-      }
+      if (sharded) shards->reset();
+      seed_worklist();
       ++st.fallbacks;
       if (dev.faults_armed()) {
         dev.note_recovery("worklist refill sweep rediscovered bad triangles");

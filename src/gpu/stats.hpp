@@ -17,6 +17,12 @@ struct KernelStats {
   std::uint64_t atomics = 0;         ///< counted atomic operations
   std::uint64_t global_accesses = 0; ///< counted global-memory accesses
 
+  // Worklist traffic split by contention class (ThreadCtx::worklist_op):
+  // local ops touch a ring no other block pops during the phase, contended
+  // ops claim a shared atomic index (the centralized list, spills, steals).
+  std::uint64_t wl_local_ops = 0;
+  std::uint64_t wl_contended_ops = 0;
+
   double modeled_cycles = 0.0;       ///< cost-model makespan of this launch
 
   /// SIMD inefficiency due to divergence: lane-steps issued / useful work.
@@ -45,6 +51,15 @@ struct DeviceStats {
   std::uint64_t bytes_allocated = 0;
   std::uint64_t bytes_copied = 0;    ///< host<->device + realloc copies
 
+  // Worklist activity (paper Sec. 7.5). Ops are absorbed from KernelStats;
+  // steals/spills are counted by the host-side rebalance of a
+  // ShardedWorklist (Device::note_worklist_rebalance) and stay zero in
+  // centralized mode.
+  std::uint64_t wl_local_ops = 0;     ///< uncontended per-shard ring ops
+  std::uint64_t wl_contended_ops = 0; ///< shared-index claims (central/steal)
+  std::uint64_t wl_steals = 0;        ///< items moved between shards
+  std::uint64_t wl_spills = 0;        ///< items spilled to the global list
+
   // Resilience activity (zero unless a fault campaign is armed).
   std::uint64_t faults_injected = 0;  ///< injected fault events
   std::uint64_t faults_recovered = 0; ///< recovery actions taken
@@ -63,7 +78,19 @@ struct DeviceStats {
     warp_steps += k.warp_steps;
     atomics += k.atomics;
     global_accesses += k.global_accesses;
+    wl_local_ops += k.wl_local_ops;
+    wl_contended_ops += k.wl_contended_ops;
     modeled_cycles += k.modeled_cycles;
+  }
+
+  /// Modeled cycles spent on contended worklist index claims — the
+  /// contention bill the sharded mode exists to shrink. Derived, not
+  /// additive into modeled_cycles (those ops are already charged as
+  /// atomics by the cost model).
+  double wl_contention_cycles(double atomic_cost,
+                              double atomic_concurrency) const {
+    return static_cast<double>(wl_contended_ops) * atomic_cost /
+           (atomic_concurrency > 0 ? atomic_concurrency : 1.0);
   }
 };
 

@@ -9,9 +9,11 @@
 #include <array>
 #include <atomic>
 #include <mutex>
+#include <optional>
 
 #include "core/adaptive.hpp"
 #include "gpu/memory.hpp"
+#include "gpu/worklist.hpp"
 #include "pta/solve.hpp"
 #include "support/status.hpp"
 #include "support/timer.hpp"
@@ -186,6 +188,23 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
       opts.initial_tpb, 3,
       std::clamp(n / (512.0 * dev.config().num_sms), 3.0, 50.0));
 
+  // WorklistMode::kSharded: the rule sweep (phase A) becomes data-driven.
+  // Enabled load/store constraint indices are seeded host-side into shards
+  // (pseudo-partitioned by constraint index, then rebalanced — the
+  // deterministic steal), and the kernel pops from the shards its block
+  // owns instead of striding all constraints and skipping disabled ones.
+  // The phases that mutate shared lists/sets run as sequential phases in
+  // this mode: claims are published in block order (PR 2's commit
+  // protocol), which is what keeps answers, op accounting and modeled
+  // stats bit-identical for any --host-workers value.
+  const bool sharded =
+      dev.config().worklist_mode == gpu::WorklistMode::kSharded;
+  std::optional<gpu::ShardedWorklist<std::uint32_t>> swl;
+  if (sharded) {
+    const std::size_t S = dev.config().resolved_worklist_shards();
+    swl.emplace(S, loadstore.size() / S + 2, &dev);
+  }
+
   // Phase 1 (init): seed points-to sets from address-of constraints.
   {
     const gpu::LaunchConfig lc = launcher.next(dev.config());
@@ -212,25 +231,30 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
     const gpu::LaunchConfig lc = launcher.next(dev.config());
     const std::uint64_t T = lc.total_threads();
     bool rerun = true;
-    while (rerun) {
-      dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
-        for (std::uint64_t i = ctx.tid(); i < copy.size(); i += T) {
-          const Constraint& c = copy[i];
-          ctx.work(1);
-          if (c.dst == c.src) continue;
-          std::uint64_t ops = 0;
-          std::scoped_lock lock(list_mu);
-          const bool added = opts.push_based
-                                 ? insert_edge(c.src, c.dst, &ops)
-                                 : insert_edge(c.dst, c.src, &ops);
-          if (added) {
-            ++st.edges_added;
-            touched[opts.push_based ? c.src : c.dst] = 1;
-          }
-          ctx.work(ops);
-          if (opts.push_based) ctx.atomic_op();  // shared target list
+    // Sequential under sharded mode: insert_edge's op count includes the
+    // contains() walk over whatever the target list holds at lock
+    // acquisition, so it depends on insertion order across threads.
+    const auto copy_kernel = [&](gpu::ThreadCtx& ctx) {
+      for (std::uint64_t i = ctx.tid(); i < copy.size(); i += T) {
+        const Constraint& c = copy[i];
+        ctx.work(1);
+        if (c.dst == c.src) continue;
+        std::uint64_t ops = 0;
+        std::scoped_lock lock(list_mu);
+        const bool added = opts.push_based
+                               ? insert_edge(c.src, c.dst, &ops)
+                               : insert_edge(c.dst, c.src, &ops);
+        if (added) {
+          ++st.edges_added;
+          touched[opts.push_based ? c.src : c.dst] = 1;
         }
-      });
+        ctx.work(ops);
+        if (opts.push_based) ctx.atomic_op();  // shared target list
+      }
+    };
+    while (rerun) {
+      const gpu::Phase pc[1] = {{copy_kernel, /*sequential=*/sharded}};
+      dev.launch_phases(lc, std::span<const gpu::Phase>(pc));
       rerun = arena_pressure;
       if (arena_pressure) recover_arena();
     }
@@ -247,14 +271,34 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
     std::uint64_t round_added = 0;          // bumped under list_mu only
     std::atomic<std::uint64_t> round_grew{0};
 
+    // Sharded: seed this round's enabled constraints (the same predicate
+    // the strided kernel applies inline), then rebalance so starved shards
+    // are fed before the launch.
+    if (sharded) {
+      swl->reset();
+      gpu::ThreadCtx host;  // host-side fill; charges discarded
+      for (std::uint32_t i = 0; i < loadstore.size(); ++i) {
+        const Constraint& c = loadstore[i];
+        const Var ptr = (c.kind == ConstraintKind::kLoad) ? c.src : c.dst;
+        if (full_sweep || changed_cur[ptr] || st.iterations == 1) {
+          (void)swl->push(host, swl->partition_shard(i, loadstore.size()), i);
+        }
+      }
+      swl->rebalance();
+      dev.note_counter("worklist.occupancy",
+                       static_cast<double>(swl->size()));
+    }
+
     // --- phase A: load/store constraints add edges (Sec. 4: "constraints
     // are evaluated"; edges go to the incoming list in the pull model) ---
-    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
-      for (std::uint64_t i = ctx.tid(); i < loadstore.size(); i += T) {
-        const Constraint& c = loadstore[i];
+    const auto phase_a = [&](gpu::ThreadCtx& ctx) {
+      const auto evaluate = [&](const Constraint& c) {
         ctx.work(1);
         const Var ptr = (c.kind == ConstraintKind::kLoad) ? c.src : c.dst;
-        if (!full_sweep && !changed_cur[ptr] && st.iterations > 1) continue;
+        if (!sharded && !full_sweep && !changed_cur[ptr] &&
+            st.iterations > 1) {
+          return;
+        }
         ctx.global_access();
         std::scoped_lock lock(list_mu);
         for (Var raw : pts[ptr]) {
@@ -283,8 +327,21 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
           ctx.work(ops + 1);
           if (opts.push_based) ctx.atomic_op();
         }
+      };
+      if (sharded) {
+        while (auto idx = swl->pop_owned(ctx, lc.blocks)) {
+          evaluate(loadstore[*idx]);
+        }
+      } else {
+        for (std::uint64_t i = ctx.tid(); i < loadstore.size(); i += T) {
+          evaluate(loadstore[i]);
+        }
       }
-    });
+    };
+    {
+      const gpu::Phase pa[1] = {{phase_a, /*sequential=*/sharded}};
+      dev.launch_phases(lc, std::span<const gpu::Phase>(pa));
+    }
 
     // Kernel-Host fallback: grow the arena before the next sweep, which
     // will re-evaluate every constraint so the denied inserts replay.
@@ -308,7 +365,11 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
         }
       }
       const std::uint64_t todo = opts.divergence_sort ? active.size() : n;
-      dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      // Sequential under sharded mode: a pull reader charges ops against
+      // pts[u] snapshots, so the counts depend on whether u's owner already
+      // ran this round — block order pins that (the cost model is identical
+      // for sequential phases).
+      const auto phase_b = [&](gpu::ThreadCtx& ctx) {
         for (std::uint64_t i = ctx.tid(); i < todo; i += T) {
           const Var v = opts.divergence_sort ? active[i]
                                              : static_cast<Var>(i);
@@ -333,11 +394,13 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
             round_grew.fetch_add(1, std::memory_order_relaxed);
           }
         }
-      });
+      };
+      const gpu::Phase pb[1] = {{phase_b, /*sequential=*/sharded}};
+      dev.launch_phases(lc, std::span<const gpu::Phase>(pb));
     } else {
       // Push: a node writes into its successors' sets; every update is
       // synchronized (the cost the pull model avoids).
-      dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      const auto phase_b = [&](gpu::ThreadCtx& ctx) {
         for (std::uint64_t u = ctx.tid(); u < n; u += T) {
           ctx.work(1);
           if (!changed_cur[u] && !touched[u]) continue;
@@ -352,7 +415,9 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
           });
           ctx.work(ops);
         }
-      });
+      };
+      const gpu::Phase pb[1] = {{phase_b, /*sequential=*/sharded}};
+      dev.launch_phases(lc, std::span<const gpu::Phase>(pb));
     }
 
     st.counted_work = dev.stats().total_work;

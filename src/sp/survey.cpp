@@ -5,7 +5,9 @@
 #include <cmath>
 #include <functional>
 #include <mutex>
+#include <optional>
 
+#include "gpu/worklist.hpp"
 #include "support/status.hpp"
 #include "support/timer.hpp"
 
@@ -317,6 +319,9 @@ struct Hooks {
   std::function<void()> refresh;
   // Compute biases of all alive literals into the given arrays.
   std::function<void(std::vector<double>&, std::vector<std::uint8_t>&)> bias;
+  // Invoked after each decimation step (literal fixes + unit propagation);
+  // lets a driver prune its live-literal worklist. Optional.
+  std::function<void()> after_decimation;
 };
 
 SpResult run_schedule(FactorGraph& g, const SpOptions& opts,
@@ -373,6 +378,7 @@ SpResult run_schedule(FactorGraph& g, const SpOptions& opts,
       res.contradiction = true;
       return res;
     }
+    if (hooks.after_decimation) hooks.after_decimation();
   }
 
   const std::uint64_t flips = walksat_residual(g, opts, rng);
@@ -510,9 +516,65 @@ SpResult solve_gpu(const Formula& f, gpu::Device& dev,
   std::atomic<std::uint64_t> launch_ops{0};
   auto drain_ops = [&] { work += launch_ops.exchange(0); };
 
+  // WorklistMode::kSharded: the alive literals live in a sharded worklist,
+  // pseudo-partitioned by literal index and rebuilt host-side after every
+  // decimation step — so the refresh and bias kernels sweep only literals
+  // still alive (each block its own shards) instead of striding all of them
+  // and paying a step per tombstone. Iteration is non-consuming; the sweep
+  // kernel is per-clause and unchanged.
+  const bool sharded =
+      dev.config().worklist_mode == gpu::WorklistMode::kSharded;
+  std::optional<gpu::ShardedWorklist<Lit>> swl;
+  if (sharded) {
+    const std::size_t S = dev.config().resolved_worklist_shards();
+    swl.emplace(S, static_cast<std::size_t>(f.num_lits) / S + 2, &dev);
+  }
+  const auto rebuild_lits = [&] {
+    if (!sharded) return;
+    swl->reset();
+    gpu::ThreadCtx host;  // host-side fill; charges discarded
+    std::uint32_t na = 0;
+    for (Lit i = 0; i < f.num_lits; ++i) na += g.lit_alive[i] ? 1 : 0;
+    std::uint32_t idx = 0;
+    for (Lit i = 0; i < f.num_lits; ++i) {
+      if (g.lit_alive[i]) {
+        (void)swl->push(host, swl->partition_shard(idx++, na), i);
+      }
+    }
+    dev.note_counter("worklist.occupancy", static_cast<double>(swl->size()));
+  };
+  rebuild_lits();
+  // Sharded sweep over the live literals a block owns (threads stride the
+  // shard contents). Stale tombstones (possible only mid-rebuild) charge
+  // one step, mirroring the strided kernels' dead branch.
+  const auto for_each_owned_lit = [&](gpu::ThreadCtx& ctx, auto&& body) {
+    const auto r = swl->owned_range(ctx.block(), lc.blocks);
+    for (std::size_t s = r.lo; s < r.hi; ++s) {
+      const std::size_t sz = swl->shard_size(s);
+      for (std::size_t x = ctx.thread_in_block(); x < sz;
+           x += lc.threads_per_block) {
+        const Lit i = swl->item(s, x);
+        if (!g.lit_alive[i]) {
+          ctx.work(1);
+          continue;
+        }
+        body(i);
+      }
+    }
+  };
+
   Hooks hooks;
+  hooks.after_decimation = rebuild_lits;
   hooks.refresh = [&] {
     dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      if (sharded) {
+        for_each_owned_lit(ctx, [&](Lit i) {
+          const std::uint64_t ops = refresh_cache_lit(g, i, cache);
+          ctx.work(ops);
+          launch_ops.fetch_add(ops, std::memory_order_relaxed);
+        });
+        return;
+      }
       for (std::uint64_t i = ctx.tid(); i < f.num_lits; i += T) {
         if (!g.lit_alive[i]) {
           ctx.work(1);
@@ -549,6 +611,18 @@ SpResult solve_gpu(const Formula& f, gpu::Device& dev,
   };
   hooks.bias = [&](std::vector<double>& mag, std::vector<std::uint8_t>& val) {
     dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      if (sharded) {
+        for_each_owned_lit(ctx, [&](Lit i) {
+          ctx.work(1);
+          std::uint64_t ops = 0;
+          const Bias b = literal_bias(g, i, &ops);
+          ctx.work(ops);
+          launch_ops.fetch_add(ops, std::memory_order_relaxed);
+          mag[i] = b.magnitude;
+          val[i] = b.value ? 1 : 0;
+        });
+        return;
+      }
       for (std::uint64_t i = ctx.tid(); i < f.num_lits; i += T) {
         ctx.work(1);
         if (!g.lit_alive[i]) continue;

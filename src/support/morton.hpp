@@ -26,7 +26,11 @@ inline std::uint64_t morton_unit(double x, double y) {
   auto scale = [](double v) {
     if (v < 0.0) v = 0.0;
     if (v > 1.0) v = 1.0;
-    return static_cast<std::uint32_t>(v * static_cast<double>(1u << 30));
+    // Clamp to the top of the 30-bit grid: v == 1.0 would otherwise scale
+    // to 1<<30 (bit 30 set), landing boundary points outside the key range
+    // every interior point maps to and breaking their key-locality.
+    const auto k = static_cast<std::uint32_t>(v * static_cast<double>(1u << 30));
+    return k < (1u << 30) ? k : (1u << 30) - 1;
   };
   return morton_interleave(scale(x), scale(y));
 }

@@ -105,14 +105,20 @@ void escape_string(std::string& out, const std::string& s) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Escape control bytes and everything >= 0x80: the escape keeps the
+        // emitted JSON plain ASCII whatever bytes a caller-supplied string
+        // holds. The cast through unsigned char matters — passing a plain
+        // (signed) char >= 0x80 to %x sign-extends into "￿ffXX".
+        const unsigned char uc = static_cast<unsigned char>(c);
+        if (uc < 0x20 || uc >= 0x80) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x", uc);
           out += buf;
         } else {
           out += c;
         }
+      }
     }
   }
   out += '"';
@@ -296,9 +302,10 @@ class Parser {
           const unsigned code = static_cast<unsigned>(
               std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16));
           pos_ += 4;
-          // ASCII-range escapes only (all this codebase ever emits); wider
-          // code points are passed through as '?' rather than mis-encoded.
-          out += code < 0x80 ? static_cast<char>(code) : '?';
+          // Single-byte escapes only (all this codebase ever emits — the
+          // writer escapes each byte separately); wider code points are
+          // passed through as '?' rather than mis-encoded.
+          out += code < 0x100 ? static_cast<char>(code) : '?';
           break;
         }
         default: MORPH_CHECK_MSG(false, "JSON: bad escape '\\" << c << "'");

@@ -4,6 +4,7 @@
 // configuration, and divergence packing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
 
@@ -205,6 +206,45 @@ TEST(SlotRecycler, ConcurrentGiveTakeLosesNothing) {
   std::set<std::uint32_t> got;
   while (auto v = rec.take()) got.insert(*v);
   EXPECT_EQ(got.size(), 4000u);
+}
+
+TEST(SlotRecycler, ConcurrentOverflowNeverReadsOutOfBounds) {
+  // Regression: give() used to bump tail_ past capacity and fix it up
+  // afterwards, so a concurrent take() could observe the transiently
+  // inflated index and read slots_[capacity] — an OOB read TSan flags.
+  // The CAS-bounded claim never publishes an index >= capacity; this test
+  // hammers the full/overflow boundary under TSan to keep it that way.
+  SlotRecycler rec(64);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> given{0}, taken{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint32_t i = 0; i < 20000; ++i) {
+        if (rec.give(static_cast<std::uint32_t>(t) * 100000 + i)) {
+          given.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (rec.take()) taken.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) workers[static_cast<std::size_t>(t)].join();
+  stop.store(true);
+  workers[4].join();
+  workers[5].join();
+  while (auto v = rec.take()) taken.fetch_add(1, std::memory_order_relaxed);
+  EXPECT_EQ(given.load(), taken.load());
+  EXPECT_EQ(rec.available(), 0u);
+  // Still functional after saturation (no indices were corrupted).
+  rec.clear();
+  EXPECT_TRUE(rec.give(7));
+  EXPECT_EQ(rec.take().value(), 7u);
 }
 
 TEST(Adaptive, DoublesThreadsPerBlockThenHolds) {

@@ -6,6 +6,7 @@
 
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "dmr/delaunay.hpp"
@@ -515,6 +516,41 @@ TEST(AppFaults, DmrDataDrivenGlobalOverflowStillRefines) {
   std::string why;
   EXPECT_TRUE(m.validate(&why)) << why;
   EXPECT_EQ(dev.stats().faults_injected, 8u);
+}
+
+TEST(AppFaults, ShardedCampaignReplaysBitIdenticalAcrossHostWorkers) {
+  // worklist_mode=sharded must not perturb a fault campaign: an armed
+  // injector pins every phase sequential, and the sharded rebalance walks
+  // shards in index order host-side, so the whole faulted run — injections,
+  // recoveries, steal/spill counts, modeled timeline, refined mesh — is a
+  // pure function of the campaign, not of --host-workers.
+  const dmr::Mesh base = dmr::generate_input_mesh(300, 1);
+  auto run = [&](std::uint32_t workers) {
+    dmr::Mesh m = base;
+    dmr::RefineOptions opts;
+    opts.adaptive = false;
+    opts.fixed_tpb = 128;
+    // No globalwl clause: under sharded mode the centralized list is the
+    // spill target of last resort, so a healthy run gives it no pushes for
+    // the injector to fail.
+    const FaultPlan plan = plan_of("launch@2x2,barrier@1");
+    gpu::DeviceConfig cfg;
+    cfg.host_workers = workers;
+    cfg.worklist_mode = gpu::WorklistMode::kSharded;
+    cfg.faults = &plan;
+    gpu::Device dev(cfg);
+    const dmr::RefineStats st = dmr::refine_gpu_datadriven(m, dev, opts);
+    return std::tuple(m.num_live(), st.rounds, st.processed,
+                      dev.stats().modeled_cycles,
+                      dev.stats().faults_injected,
+                      dev.stats().faults_recovered, dev.stats().wl_steals,
+                      dev.stats().wl_spills, dev.stats().wl_local_ops,
+                      dev.stats().wl_contended_ops);
+  };
+  const auto a = run(1);
+  EXPECT_EQ(a, run(4));
+  EXPECT_EQ(a, run(8));
+  EXPECT_EQ(std::get<4>(a), 3u);  // both clauses fired
 }
 
 // --- app matrix: SP (launch class + consistency gate) ----------------------

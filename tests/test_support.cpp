@@ -1,4 +1,5 @@
-// Unit tests for the support library (rng, stats, cli, table, checks).
+// Unit tests for the support library (rng, stats, cli, table, checks,
+// morton keys).
 #include <gtest/gtest.h>
 
 #include <set>
@@ -6,6 +7,7 @@
 
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/morton.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -234,6 +236,34 @@ TEST(Table, AlignsColumnsAndPadsRows) {
 TEST(Table, NumFormatsPrecision) {
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Morton, InterleaveSpreadsBits) {
+  EXPECT_EQ(morton_interleave(0, 0), 0u);
+  EXPECT_EQ(morton_interleave(1, 0), 1u);   // x in even positions
+  EXPECT_EQ(morton_interleave(0, 1), 2u);   // y in odd positions
+  EXPECT_EQ(morton_interleave(3, 3), 15u);
+  EXPECT_EQ(morton_interleave(0xffffffffu, 0),
+            0x5555555555555555ULL);
+}
+
+TEST(Morton, BoundaryCoordinatesStayInsideTheKeyGrid) {
+  // Regression: v == 1.0 used to scale to 1 << 30 (bit 30 set), so the
+  // square's far corner and edges landed outside the 60-bit key range
+  // every interior point maps to, breaking their key-locality in the
+  // layout scan's sort.
+  const std::uint32_t top = (1u << 30) - 1;
+  EXPECT_EQ(morton_unit(1.0, 1.0), morton_interleave(top, top));
+  EXPECT_EQ(morton_unit(1.0, 0.0), morton_interleave(top, 0));
+  EXPECT_EQ(morton_unit(0.0, 1.0), morton_interleave(0, top));
+  // Out-of-range inputs clamp to the same corner keys.
+  EXPECT_EQ(morton_unit(2.0, -1.0), morton_unit(1.0, 0.0));
+  // Every key fits the 60-bit grid, boundary included.
+  for (double v : {0.0, 0.25, 0.5, 1.0 - 1e-12, 1.0}) {
+    EXPECT_LT(morton_unit(v, 1.0 - v), 1ULL << 60);
+  }
+  // The corner is the maximum of the grid: no interior point exceeds it.
+  EXPECT_GE(morton_unit(1.0, 1.0), morton_unit(1.0 - 1e-9, 1.0 - 1e-9));
 }
 
 }  // namespace

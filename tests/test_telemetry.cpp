@@ -49,6 +49,26 @@ TEST(Json, PreservesInsertionOrderAndEscapes) {
   EXPECT_EQ(back.at("a").as_string(), "line\nbreak \"quoted\"");
 }
 
+TEST(Json, NonAsciiBytesRoundTripThroughAsciiEscapes) {
+  // Regression: the writer passed a plain (signed) char to snprintf's %x,
+  // which sign-extended bytes >= 0x80 into "￿ffXX" garbage the parser
+  // rejected. Every byte value must now survive a dump/parse round trip,
+  // and the emitted JSON must stay plain ASCII.
+  std::string all_bytes;
+  for (int b = 1; b < 256; ++b) all_bytes += static_cast<char>(b);
+  Json doc = Json::object();
+  doc.set("bytes", Json(all_bytes));
+  doc.set("utf8", Json(std::string("caf\xc3\xa9 \xe2\x9c\x93")));
+  const std::string text = doc.dump();
+  for (char c : text) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    EXPECT_LT(static_cast<unsigned char>(c), 0x80u);
+  }
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.at("bytes").as_string(), all_bytes);
+  EXPECT_EQ(back.at("utf8").as_string(), "caf\xc3\xa9 \xe2\x9c\x93");
+}
+
 TEST(Json, DoublesSurviveExactly) {
   // Shortest-round-trip printing must reproduce the bits.
   const double values[] = {0.1, 1.0 / 3.0, 1e-300, 123456789.123456789,
