@@ -24,6 +24,12 @@
 //                       stealing; see DESIGN.md "Sharded worklists").
 //                       --worklist-shards=N overrides the shard count
 //                       (0 = auto, 4 per SM).
+//   --sanitize=<spec>   arm the MorphSan hazard checker (docs/ANALYSIS.md)
+//                       on every device the bench constructs; <spec> is a
+//                       comma list of races,worklist,memory,barriers or
+//                       "all". The report is printed to stderr, a
+//                       "sanitizer" section is added to --json output, and
+//                       the bench exits 4 if any hazard was found.
 //
 // Cross-platform timing claims use the simulator's modeled cycles (reported
 // as "model-ms"); wall-clock seconds of the real computation are printed
@@ -38,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sanitizer.hpp"
 #include "gpu/config.hpp"
 #include "gpu/device.hpp"
 #include "resilience/fault.hpp"
@@ -61,7 +68,8 @@ class Bench {
       : args_(argc, argv) {
     std::vector<std::string> known = {"host-workers", "json",      "trace",
                                       "trace-blocks", "clock-ghz",
-                                      "worklist-mode", "worklist-shards"};
+                                      "worklist-mode", "worklist-shards",
+                                      "sanitize"};
     const auto& fault_flags = resilience::fault_cli_flags();
     known.insert(known.end(), fault_flags.begin(), fault_flags.end());
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
@@ -81,6 +89,19 @@ class Bench {
       std::exit(2);
     }
     base_cfg_.worklist_shards = static_cast<std::uint32_t>(ws);
+    if (args_.has("sanitize")) {
+      analysis::SanitizeOptions sopts;
+      std::string spec = args_.get("sanitize", "all");
+      if (spec == "1") spec = "all";  // bare --sanitize arms everything
+      if (!analysis::SanitizeOptions::parse(spec, &sopts)) {
+        std::cerr << "error: --sanitize must be a comma list of "
+                     "races,worklist,memory,barriers or 'all' (got '"
+                  << spec << "')\n";
+        std::exit(2);
+      }
+      san_ = std::make_unique<analysis::Sanitizer>(sopts);
+      base_cfg_.sanitize = san_.get();
+    }
     fault_plan_ = resilience::fault_plan_from_args(
         args_.get("faults", ""),
         static_cast<std::uint64_t>(args_.get_int("fault-seed", 1)));
@@ -163,9 +184,28 @@ class Bench {
                                         dev.config().atomic_concurrency));
   }
 
+  /// The hazard checker armed by --sanitize (nullptr when the flag is off);
+  /// device_config() already points at it, so most benches never touch this.
+  analysis::Sanitizer* sanitizer() const { return san_.get(); }
+
   /// Writes --json / --trace outputs (if requested). Returns the process
-  /// exit code for main().
+  /// exit code for main(): 0, or 4 if the sanitizer found hazards.
   int finish() {
+    if (san_) {
+      report_.sanitizer.enabled = true;
+      report_.sanitizer.spec = san_->options().to_string();
+      for (std::size_t c = 0; c < analysis::kNumHazardClasses; ++c) {
+        const auto cls = static_cast<analysis::HazardClass>(c);
+        report_.sanitizer.counts.emplace_back(
+            analysis::hazard_class_name(cls),
+            static_cast<double>(san_->finding_count(cls)));
+      }
+      for (const analysis::Finding& f : san_->findings()) {
+        report_.sanitizer.findings.push_back(f.to_string());
+      }
+      report_.sanitizer.suppressed =
+          static_cast<double>(san_->suppressed());
+    }
     if (args_.has("json")) {
       report_.save(args_.get("json", ""));
       std::cerr << "wrote bench report: " << args_.get("json", "") << "\n";
@@ -182,6 +222,10 @@ class Bench {
                                     topts);
       std::cerr << "wrote trace: " << args_.get("trace", "") << "\n";
     }
+    if (san_) {
+      san_->report(std::cerr);
+      if (!san_->clean()) return 4;
+    }
     return 0;
   }
 
@@ -197,6 +241,8 @@ class Bench {
   gpu::DeviceConfig base_cfg_;
   /// Owns the --faults campaign base_cfg_.faults points at (if armed).
   std::optional<resilience::FaultPlan> fault_plan_;
+  /// Owns the --sanitize checker base_cfg_.sanitize points at (if armed).
+  std::unique_ptr<analysis::Sanitizer> san_;
   double ms_per_cycle_ = 1e-6;
   std::unique_ptr<telemetry::TraceSink> sink_;
   telemetry::BenchReport report_;

@@ -1,22 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the regular build + full test suite, then a
-# ThreadSanitizer build of the concurrency-sensitive suites (the gpu/core/dmr
-# labels cover the worklists, the block-parallel Device, the conflict
-# protocol, and the refinement drivers that exercise them under
-# host_workers > 1).
+# Tier-1 verification: the regular build + full test suite, lint, the
+# MorphSan hazard-sanitizer smoke, then ThreadSanitizer and ASan+UBSan
+# builds of the concurrency-sensitive suites (the gpu/core/dmr labels cover
+# the worklists, the block-parallel Device, the conflict protocol, and the
+# refinement drivers that exercise them under host_workers > 1).
 #
-# Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
+# Usage: scripts/tier1.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 TSAN_BUILD="${2:-build-tsan}"
+ASAN_BUILD="${3:-build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== tier 1: regular build + full ctest =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== tier 1: lint (clang-tidy; skips when absent) =="
+scripts/lint.sh "$BUILD"
 
 echo "== tier 1: telemetry smoke (bench report determinism) =="
 SMOKE="$(mktemp -d)"
@@ -70,6 +74,24 @@ if "$BUILD"/bench/fig11_mst --worklist-mode=bogus > /dev/null 2>&1; then
   exit 1
 fi
 
+echo "== tier 1: hazard sanitizer (MorphSan clean paths + byte-identity) =="
+# Every app must be hazard-clean under --sanitize=all at the default bench
+# scales (exit 4 = findings), and attaching the sanitizer must not perturb
+# a single modeled metric: the JSON reports diff clean against unsanitized
+# runs (wall-clock metrics carry the diff tool's default tolerance).
+for spec in "fig6_dmr_runtime --scale=64" "fig10_pta" "fig11_mst --scale=16"; do
+  set -- $spec
+  name="$1"; shift
+  "$BUILD/bench/$name" "$@" --json="$SMOKE/plain.json" > /dev/null
+  "$BUILD/bench/$name" "$@" --sanitize=all --json="$SMOKE/san.json" > /dev/null
+  "$BUILD"/tools/morph-report diff "$SMOKE/plain.json" "$SMOKE/san.json"
+done
+# A bad class list must fail loudly with the parse exit code (2).
+if "$BUILD"/bench/fig11_mst --sanitize=bogus > /dev/null 2>&1; then
+  echo "ERROR: malformed --sanitize spec was accepted" >&2
+  exit 1
+fi
+
 echo "== tier 1: perf (bench snapshot vs committed baseline) =="
 # Full CI-sized bench sweep diffed against the committed snapshot. Modeled
 # metrics are deterministic, so any drift is a real change: the default gate
@@ -92,10 +114,20 @@ fi
 if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread - -o /dev/null 2>/dev/null; then
   echo "== tier 1: TSan build + ctest -L 'gpu|core|dmr' =="
   cmake -B "$TSAN_BUILD" -S . -DMORPH_TSAN=ON
-  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr test_resilience
+  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr test_resilience test_sancheck
   ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" -L 'gpu|core|dmr'
 else
   echo "== tier 1: libtsan not available; skipping TSan pass =="
+fi
+
+if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=address,undefined - -o /dev/null 2>/dev/null; then
+  echo "== tier 1: ASan+UBSan build (simulator suite + one bench) =="
+  cmake -B "$ASAN_BUILD" -S . -DMORPH_ASAN=ON -DMORPH_UBSAN=ON
+  cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_gpu test_sancheck fig6_dmr_runtime
+  ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" -R 'test_gpu|Sanitize|Seeded|CleanApps|Reporting'
+  "$ASAN_BUILD"/bench/fig6_dmr_runtime --scale=64 --sanitize=all > /dev/null
+else
+  echo "== tier 1: libasan/libubsan not available; skipping ASan+UBSan pass =="
 fi
 
 echo "tier 1 OK"

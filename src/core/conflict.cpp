@@ -6,6 +6,12 @@ MarkTable::MarkTable(std::size_t num_elements) : marks_(num_elements) {
   reset();
 }
 
+MarkTable::~MarkTable() {
+  if (analysis::Sanitizer* s = san_.load(std::memory_order_relaxed)) {
+    s->reset_ownership(this);
+  }
+}
+
 void MarkTable::resize(std::size_t n) {
   // std::atomic is not movable; rebuild. Resizing happens between rounds,
   // never while a kernel is marking.
@@ -16,12 +22,23 @@ void MarkTable::resize(std::size_t n) {
 
 void MarkTable::reset() {
   for (auto& m : marks_) m.store(kNoOwner, std::memory_order_relaxed);
+  // Round boundary: every neighborhood grant of the finished round is void.
+  if (analysis::Sanitizer* s = san_.load(std::memory_order_relaxed)) {
+    s->reset_ownership(this);
+  }
 }
 
 void MarkTable::race_mark(gpu::ThreadCtx& ctx, std::uint32_t tid,
                           std::span<const std::uint32_t> elements) {
+  analysis::Sanitizer* const s = observe(ctx);
   for (std::uint32_t e : elements) {
     ctx.global_access();
+    // The race phase's contention is resolved by CAS-max: both sides of any
+    // overlap are atomic RMWs, which the race check recognizes as ordered.
+    if (s) {
+      s->on_access(ctx.block(), &marks_[e], sizeof(std::uint32_t),
+                   analysis::Sanitizer::Access::kAtomic);
+    }
     mark_max(e, tid);
   }
   ctx.work(elements.size());
@@ -68,6 +85,15 @@ bool MarkTable::priority_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
     mark_max(e, tid);
   }
   ctx.work(elements.size());
+  // A surviving activity believes it owns its neighborhood; record the
+  // grant so commit-side on_guarded_write can validate it. With the CAS-max
+  // race phase only the maximal tid of each overlap survives, so the
+  // overlapping-grant check stays meaningful for the 2-phase ablation arm.
+  if (owns) {
+    if (analysis::Sanitizer* s = observe(ctx)) {
+      s->on_ownership_granted(this, tid, elements);
+    }
+  }
   return owns;
 }
 
@@ -78,6 +104,9 @@ bool MarkTable::exact_check(gpu::ThreadCtx& ctx, std::uint32_t tid,
   for (std::uint32_t e : elements) {
     ctx.global_access();
     if (marks_[e].load(std::memory_order_relaxed) != tid) return false;
+  }
+  if (analysis::Sanitizer* s = observe(ctx)) {
+    s->on_ownership_granted(this, tid, elements);
   }
   return true;
 }
@@ -104,7 +133,12 @@ bool MarkTable::try_claim(gpu::ThreadCtx& ctx, std::uint32_t tid,
       if (expected != tid) break;  // held by someone else
     }
   }
-  if (taken == elements.size()) return true;
+  if (taken == elements.size()) {
+    if (analysis::Sanitizer* s = observe(ctx)) {
+      s->on_ownership_granted(this, tid, elements);
+    }
+    return true;
+  }
   release(ctx, tid, elements.subspan(0, taken));
   return false;
 }
@@ -116,6 +150,9 @@ void MarkTable::release(gpu::ThreadCtx& ctx, std::uint32_t tid,
     ctx.atomic_op();
     marks_[e].compare_exchange_strong(expected, kNoOwner,
                                       std::memory_order_acq_rel);
+  }
+  if (analysis::Sanitizer* s = observe(ctx)) {
+    s->on_ownership_released(this, tid, elements);
   }
 }
 

@@ -43,6 +43,12 @@ class MarkTable {
 
   explicit MarkTable(std::size_t num_elements);
 
+  /// The ownership shadow is keyed by the table address; a successor table
+  /// constructed at the same address must not inherit this one's grants.
+  ~MarkTable();
+  MarkTable(const MarkTable&) = delete;
+  MarkTable& operator=(const MarkTable&) = delete;
+
   std::size_t size() const { return marks_.size(); }
   void resize(std::size_t n);
   void reset();
@@ -104,10 +110,20 @@ class MarkTable {
   /// CAS-max claim of one element (kNoOwner counts as unclaimed).
   void mark_max(std::uint32_t element, std::uint32_t tid);
 
+  /// Latches the sanitizer of the device driving this table (hooks only see
+  /// a ThreadCtx) so reset()/resize() — which have no ctx — can clear the
+  /// ownership shadow. Same value from every worker; atomic for TSan.
+  analysis::Sanitizer* observe(const gpu::ThreadCtx& ctx) const {
+    analysis::Sanitizer* s = ctx.san();
+    if (s) san_.store(s, std::memory_order_relaxed);
+    return s;
+  }
+
   // Atomics: on the real GPU the race phase is a benign word-sized data
   // race; under host threads we need defined behaviour.
   std::vector<std::atomic<std::uint32_t>> marks_;
   std::atomic<bool> force_ties_{false};
+  mutable std::atomic<analysis::Sanitizer*> san_{nullptr};
 };
 
 }  // namespace morph::core

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/sanitizer.hpp"
 #include "support/check.hpp"
 
 namespace morph::core {
@@ -45,7 +46,28 @@ class SlotRecycler {
   explicit SlotRecycler(std::size_t capacity)
       : slots_(capacity), tail_(0), commit_(0), head_(0) {}
 
+  /// Shadow state is keyed by the pool address; a successor SlotRecycler
+  /// constructed at this address must not inherit this pool's slots.
+  ~SlotRecycler() {
+    if (analysis::Sanitizer* s = sanitizer()) s->forget_pool(this);
+  }
+  SlotRecycler(const SlotRecycler&) = delete;
+  SlotRecycler& operator=(const SlotRecycler&) = delete;
+
   std::size_t capacity() const { return slots_.size(); }
+
+  /// Attaches the hazard sanitizer (analysis/sanitizer.hpp): give/take then
+  /// maintain the free-pool shadow, so a slot recycled twice — or mutated
+  /// while sitting in the pool (on_slot_write from the owning app) — is
+  /// reported. Null detaches. The sanitizer must outlive the pool (the
+  /// destructor tells it to forget this address).
+  void set_sanitizer(analysis::Sanitizer* s) {
+    san_.store(s, std::memory_order_relaxed);
+    if (s) s->forget_pool(this);
+  }
+  analysis::Sanitizer* sanitizer() const {
+    return san_.load(std::memory_order_relaxed);
+  }
 
   /// Records a freed slot. Returns false if the pool is full (the slot is
   /// then simply leaked to the mark strategy — safe, just less thrifty).
@@ -55,6 +77,7 @@ class SlotRecycler {
       if (t >= slots_.size()) return false;
     } while (!tail_.compare_exchange_weak(t, t + 1,
                                           std::memory_order_relaxed));
+    if (analysis::Sanitizer* s = sanitizer()) s->on_slot_recycled(this, slot);
     slots_[t].store(slot, std::memory_order_relaxed);
     std::uint64_t expected = t;
     while (!commit_.compare_exchange_weak(expected, t + 1,
@@ -74,7 +97,11 @@ class SlotRecycler {
                                   slots_.size());
       if (h >= c) return std::nullopt;
       if (head_.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel)) {
-        return slots_[h].load(std::memory_order_relaxed);
+        const std::uint32_t slot = slots_[h].load(std::memory_order_relaxed);
+        if (analysis::Sanitizer* s = sanitizer()) {
+          s->on_slot_reclaimed(this, slot);
+        }
+        return slot;
       }
     }
   }
@@ -91,6 +118,7 @@ class SlotRecycler {
     tail_.store(0, std::memory_order_relaxed);
     commit_.store(0, std::memory_order_relaxed);
     head_.store(0, std::memory_order_relaxed);
+    if (analysis::Sanitizer* s = sanitizer()) s->forget_pool(this);
   }
 
  private:
@@ -98,6 +126,7 @@ class SlotRecycler {
   std::atomic<std::uint64_t> tail_;    ///< next slot to reserve
   std::atomic<std::uint64_t> commit_;  ///< entries published, <= tail_
   std::atomic<std::uint64_t> head_;    ///< next index to take, <= commit_
+  std::atomic<analysis::Sanitizer*> san_{nullptr};
 };
 
 }  // namespace morph::core

@@ -133,7 +133,7 @@ FlipStats flip_gpu(Mesh& m, gpu::Device& dev, gpu::BarrierKind barrier) {
   const gpu::LaunchConfig lc{
       std::clamp<std::uint32_t>(static_cast<std::uint32_t>(nslots / 1024 + 1),
                                 3 * sm, 50 * sm),
-      256};
+      256, "dmr.flip"};
   const std::uint64_t T = lc.total_threads();
   const std::uint64_t chunk = (nslots + T - 1) / T;
 
@@ -203,7 +203,7 @@ FlipStats flip_gpu(Mesh& m, gpu::Device& dev, gpu::BarrierKind barrier) {
     // Live-lock fallback, as in DMR: if every candidate aborted, flip one
     // edge serially.
     if (!changed && aborted > 0) {
-      dev.launch({1, 1}, [&](gpu::ThreadCtx& ctx) {
+      dev.launch({1, 1, "dmr.flip.escalate"}, [&](gpu::ThreadCtx& ctx) {
         for (Tri t = 0; t < m.num_slots(); ++t) {
           ctx.work(1);
           if (m.is_deleted(t)) continue;

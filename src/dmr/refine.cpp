@@ -199,8 +199,8 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
   // initialize_kernel: compute bad flags (real work, charged per slot).
   std::int64_t bad_count = 0;
   {
-    const gpu::LaunchConfig lc =
-        core::fixed_config(dev.config(), sm_factor, 256);
+    gpu::LaunchConfig lc = core::fixed_config(dev.config(), sm_factor, 256);
+    lc.label = "dmr.init";
     const std::uint64_t n = m.num_slots();
     const std::uint64_t T = lc.total_threads();
     std::atomic<std::int64_t> bad_total{0};
@@ -223,6 +223,7 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
   st.initial_bad = static_cast<std::uint64_t>(bad_count);
 
   core::SlotRecycler recycler(opts.recycle ? 1u << 22 : 0u);
+  recycler.set_sanitizer(dev.sanitizer());
   core::MarkTable marks(m.num_slots());
   core::AdaptiveLauncher launcher(opts.initial_tpb, 3, sm_factor);
   resilience::LivelockWatchdog watchdog(opts.watchdog_escalate_after,
@@ -233,10 +234,11 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
     const bool injected_livelock =
         inject_livelock_round(dev, marks, st.rounds);
     const std::uint64_t nslots = m.num_slots();
-    const gpu::LaunchConfig lc =
+    gpu::LaunchConfig lc =
         opts.adaptive ? launcher.next(dev.config())
                       : core::fixed_config(dev.config(), sm_factor,
                                            opts.fixed_tpb);
+    lc.label = "dmr.refine";
     const std::uint64_t T = lc.total_threads();
 
     if (marks.size() < nslots) marks.resize(nslots + nslots / 2);
@@ -312,6 +314,11 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
     // host_workers value. All parallel wall-clock gain lives in the cavity
     // building of the race phase, which stays block-parallel.
     auto apply = [&](gpu::ThreadCtx& ctx, std::uint32_t t) {
+      // The guarded mutation the 3-phase protocol exists to protect: every
+      // cavity element must be owned by this activity in the mark table.
+      if (analysis::Sanitizer* s = ctx.san()) {
+        s->on_guarded_write(&marks, ctx.block(), t, hood[t]);
+      }
       std::int64_t bad_in_cavity = 0;
       for (Tri d : cav[t].tris) bad_in_cavity += m.is_bad(d) ? 1 : 0;
       std::vector<Tri> added;
@@ -417,7 +424,7 @@ RefineStats refine_gpu(Mesh& m, gpu::Device& dev, const RefineOptions& opts) {
       ++st.fallbacks;
       std::optional<Mesh> checkpoint;
       if (opts.validate_invariants) checkpoint = m;
-      dev.launch({1, 1}, [&](gpu::ThreadCtx& ctx) {
+      dev.launch({1, 1, "dmr.escalate"}, [&](gpu::ThreadCtx& ctx) {
         for (Tri t = 0; t < m.num_slots(); ++t) {
           ctx.work(1);
           if (m.is_deleted(t) || !m.is_bad(t)) continue;
@@ -507,6 +514,7 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
   seed_worklist();
 
   core::SlotRecycler recycler(opts.recycle ? 1u << 22 : 0u);
+  recycler.set_sanitizer(dev.sanitizer());
   core::MarkTable marks(m.num_slots());
   core::AdaptiveLauncher launcher(
       opts.initial_tpb, 3,
@@ -522,7 +530,8 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
     const bool injected_livelock =
         inject_livelock_round(dev, marks, st.rounds);
     const std::uint64_t nslots = m.num_slots();
-    const gpu::LaunchConfig lc = launcher.next(dev.config());
+    gpu::LaunchConfig lc = launcher.next(dev.config());
+    lc.label = "dmr.refine.dd";
     const std::uint64_t T = lc.total_threads();
     if (marks.size() < nslots) marks.resize(nslots + nslots / 2);
     marks.reset();
@@ -600,6 +609,9 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
           const std::uint32_t t = ctx.tid();
           if (cand[t] == Mesh::kNone) return;
           if (owns[t] && marks.final_check(ctx, t, hood[t])) {
+            if (analysis::Sanitizer* s = ctx.san()) {
+              s->on_guarded_write(&marks, ctx.block(), t, hood[t]);
+            }
             std::int64_t bad_in_cavity = 0;
             for (Tri d : cav[t].tris) bad_in_cavity += m.is_bad(d) ? 1 : 0;
             std::vector<Tri> added;
@@ -675,7 +687,7 @@ RefineStats refine_gpu_datadriven(Mesh& m, gpu::Device& dev,
       ++st.fallbacks;
       std::optional<Mesh> checkpoint;
       if (opts.validate_invariants) checkpoint = m;
-      dev.launch({1, 1}, [&](gpu::ThreadCtx& ctx) {
+      dev.launch({1, 1, "dmr.escalate"}, [&](gpu::ThreadCtx& ctx) {
         for (Tri t = 0; t < m.num_slots(); ++t) {
           ctx.work(1);
           if (m.is_deleted(t) || !m.is_bad(t)) continue;

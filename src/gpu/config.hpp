@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "resilience/recovery.hpp"
@@ -20,6 +21,10 @@ class TraceSink;
 
 namespace morph::resilience {
 struct FaultPlan;
+}
+
+namespace morph::analysis {
+class Sanitizer;
 }
 
 namespace morph::gpu {
@@ -137,6 +142,13 @@ struct DeviceConfig {
   /// its trace — replays bit-identically for any host_workers value.
   const resilience::FaultPlan* faults = nullptr;
 
+  /// Hazard sanitizer (analysis/sanitizer.hpp); null disables checking
+  /// entirely — like `trace` and `faults`, a detached device takes one
+  /// branch per hook and modeled statistics, answers, and traces are
+  /// bit-identical to a build without the analysis subsystem. The sanitizer
+  /// is pure shadow state: it charges nothing to the cost model.
+  analysis::Sanitizer* sanitize = nullptr;
+
   /// Recovery policy for injected transient launch failures: each failed
   /// attempt charges the wasted launch overhead plus an exponentially
   /// growing modeled-cycle backoff; exhausting it throws morph::FaultError.
@@ -163,6 +175,13 @@ struct DeviceConfig {
 struct LaunchConfig {
   std::uint32_t blocks = 1;
   std::uint32_t threads_per_block = 32;
+  /// Kernel label used by sanitizer diagnostics ("dmr.refine.commit"); never
+  /// fed into telemetry event names, so traces are unaffected by labeling.
+  std::string label;
+
+  LaunchConfig() = default;
+  LaunchConfig(std::uint32_t b, std::uint32_t tpb, std::string lbl = {})
+      : blocks(b), threads_per_block(tpb), label(std::move(lbl)) {}
 
   std::uint64_t total_threads() const {
     return static_cast<std::uint64_t>(blocks) * threads_per_block;

@@ -131,6 +131,17 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
   ks.warps = total_warps;
   ks.phases = static_cast<std::uint32_t>(phases.size());
 
+  // Hazard-sanitizer launch context. Shadow state only: nothing below
+  // charges the cost model, so modeled statistics are bit-identical with
+  // and without an attached sanitizer.
+  analysis::Sanitizer* const san = cfg_.sanitize;
+  const std::uint32_t san_launch_ord = launch_ord_++;
+  if (san) {
+    san->begin_launch(lc.label, san_launch_ord, lc.blocks,
+                      lc.threads_per_block,
+                      static_cast<std::uint32_t>(phases.size()));
+  }
+
   // Thread execution order within a phase. Blocks are the unit of host
   // parallelism; within a block threads run in ascending (or shuffled) order.
   std::vector<std::uint32_t> order;
@@ -176,6 +187,7 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
         ctx.tpb_ = lc.threads_per_block;
         ctx.warp_size_ = cfg_.warp_size;
         ctx.grid_threads_ = static_cast<std::uint32_t>(total_threads);
+        ctx.dev_ = this;
         phase.fn(ctx);
         a.work += ctx.work_;
         a.atomics += ctx.atomics_;
@@ -212,11 +224,14 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
     // injection opportunities are then hit in one deterministic program
     // order, so a failing campaign (and its trace) replays bit-identically
     // across host_workers values. The cost model is unchanged.
-    if (phase.sequential || injector_) {
+    const bool ordered_phase = phase.sequential || injector_ != nullptr;
+    if (san) san->begin_phase(static_cast<std::uint32_t>(pi), ordered_phase);
+    if (ordered_phase) {
       for (std::uint64_t b = 0; b < lc.blocks; ++b) run_block(b);
     } else {
       pool_.run_all(lc.blocks, run_block);
     }
+    if (san) san->end_phase();
 
     BlockAcc ph;
     for (const BlockAcc& a : acc) {
@@ -339,6 +354,15 @@ KernelStats Device::launch_phases(const LaunchConfig& lc,
                  static_cast<double>(stats_.bytes_allocated));
     note_counter("device.bytes_copied",
                  static_cast<double>(stats_.bytes_copied));
+  }
+  if (san) {
+    san->end_launch();
+    // Only emitted while a sanitizer is armed, so traces without --sanitize
+    // stay byte-identical.
+    if (sink) {
+      note_counter("sanitizer.findings",
+                   static_cast<double>(san->total_findings()));
+    }
   }
   return ks;
 }

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sanitizer.hpp"
 #include "gpu/config.hpp"
 #include "gpu/stats.hpp"
 #include "gpu/thread_pool.hpp"
@@ -89,6 +90,22 @@ class ThreadCtx {
 
   std::uint64_t counted_work() const { return work_; }
 
+  /// The device executing this thread; null for ThreadCtx values constructed
+  /// outside a launch (host-side protocol drivers, tests).
+  Device* device() const { return dev_; }
+
+  /// The attached hazard sanitizer, or null (detached / host-side ctx). The
+  /// accessor is the one branch a detached device pays per hook site.
+  analysis::Sanitizer* san() const;
+
+  /// Annotates a block-level barrier (__syncthreads) for the sanitizer's
+  /// barrier-divergence check. Charges nothing: the cost model already
+  /// prices barriers per phase, and the simulator runs a block's threads to
+  /// completion sequentially, so this is an annotation, not a control-flow
+  /// construct. Every thread of a launch must announce the same sequence of
+  /// `id`s — a divergent or skipped sync is reported at the phase boundary.
+  void sync_block(std::uint32_t id);
+
  private:
   friend class Device;
   std::uint32_t tid_ = 0;
@@ -102,6 +119,7 @@ class ThreadCtx {
   std::uint64_t mem_ = 0;
   std::uint64_t wl_local_ = 0;
   std::uint64_t wl_contended_ = 0;
+  Device* dev_ = nullptr;
 };
 
 using KernelFn = std::function<void(ThreadCtx&)>;
@@ -194,6 +212,11 @@ class Device {
   /// Cost of one global barrier for this launch geometry (model only).
   double barrier_cycles(BarrierKind kind, const LaunchConfig& lc) const;
 
+  /// The attached hazard sanitizer (DeviceConfig::sanitize), or null. Every
+  /// instrumented component checks this first so a detached device pays one
+  /// branch per hook site.
+  analysis::Sanitizer* sanitizer() const { return cfg_.sanitize; }
+
  private:
   DeviceConfig cfg_;
   DeviceStats stats_;
@@ -201,6 +224,15 @@ class Device {
   std::unique_ptr<resilience::FaultInjector> injector_;
   std::uint32_t trace_device_ = 0;  ///< ordinal in the attached TraceSink
   std::uint64_t trace_seq_ = 0;     ///< tiebreaker for serially recorded events
+  std::uint32_t launch_ord_ = 0;    ///< launches issued (sanitizer context)
 };
+
+inline analysis::Sanitizer* ThreadCtx::san() const {
+  return dev_ ? dev_->sanitizer() : nullptr;
+}
+
+inline void ThreadCtx::sync_block(std::uint32_t id) {
+  if (analysis::Sanitizer* s = san()) s->on_barrier_arrive(block_, tib_, id);
+}
 
 }  // namespace morph::gpu

@@ -101,9 +101,26 @@ class DeviceHeap {
     MORPH_CHECK(chunk_elems_ > 0);
   }
 
+  /// The chunk allocations die with the heap; tell the sanitizer to drop
+  /// their shadow intervals so a later allocation reusing an address does
+  /// not inherit stale freed-chunk state (false use-after-free).
+  ~DeviceHeap() {
+    if (analysis::Sanitizer* s = dev_->sanitizer()) {
+      for (const auto& c : chunks_) {
+        s->forget_heap(c.get(), chunk_elems_ * sizeof(T));
+      }
+    }
+  }
+  DeviceHeap(const DeviceHeap&) = delete;
+  DeviceHeap& operator=(const DeviceHeap&) = delete;
+
   std::size_t chunk_elems() const { return chunk_elems_; }
   std::uint64_t chunks_live() const { return live_; }
   std::uint64_t chunks_recycled() const { return recycled_; }
+
+  /// The accounting device; apps use it to reach the attached sanitizer for
+  /// access annotations on heap-backed structures.
+  Device* device() const { return dev_; }
 
   /// Arena budget: total chunks the kernel-side heap may hold (0 =
   /// unlimited, the historical behaviour). A budget models the fixed-size
@@ -156,11 +173,17 @@ class DeviceHeap {
       free_.pop_back();
       ++recycled_;
       *out = {p, chunk_elems_};
+      if (analysis::Sanitizer* s = dev_->sanitizer()) {
+        s->on_heap_alloc(p, chunk_elems_ * sizeof(T));
+      }
       return Status::Ok();
     }
     dev_->note_device_malloc(chunk_elems_ * sizeof(T));
     chunks_.push_back(std::make_unique<T[]>(chunk_elems_));
     *out = {chunks_.back().get(), chunk_elems_};
+    if (analysis::Sanitizer* s = dev_->sanitizer()) {
+      s->on_heap_alloc(chunks_.back().get(), chunk_elems_ * sizeof(T));
+    }
     return Status::Ok();
   }
 
@@ -172,11 +195,16 @@ class DeviceHeap {
     return chunk;
   }
 
-  /// Returns a chunk to the free list (Explicit deletion, Sec. 7.2).
+  /// Returns a chunk to the free list (Explicit deletion, Sec. 7.2). The
+  /// shadow hook runs before the free-list push so a double-free is caught
+  /// against the *previous* free, not the state this call creates.
   void free_chunk(std::span<T> chunk) {
     MORPH_CHECK(chunk.size() == chunk_elems_);
     std::scoped_lock lock(mu_);
     MORPH_CHECK(live_ > 0);
+    if (analysis::Sanitizer* s = dev_->sanitizer()) {
+      s->on_heap_free(chunk.data(), chunk.size() * sizeof(T));
+    }
     --live_;
     free_.push_back(chunk.data());
   }

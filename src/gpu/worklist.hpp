@@ -118,6 +118,14 @@ class GlobalWorklist {
   explicit GlobalWorklist(std::size_t capacity, Device* dev = nullptr)
       : items_(capacity), dev_(dev), tail_(0), commit_(0), head_(0) {}
 
+  /// Slot shadow is keyed by the list address; a successor list constructed
+  /// at the same address must not inherit this one's slot states.
+  ~GlobalWorklist() {
+    if (analysis::Sanitizer* s = san()) s->on_wl_reset(this);
+  }
+  GlobalWorklist(const GlobalWorklist&) = delete;
+  GlobalWorklist& operator=(const GlobalWorklist&) = delete;
+
   std::size_t capacity() const { return items_.size(); }
 
   /// Discards all content. Must not race with push/pop (call between
@@ -126,6 +134,7 @@ class GlobalWorklist {
     tail_.store(0, std::memory_order_relaxed);
     commit_.store(0, std::memory_order_relaxed);
     head_.store(0, std::memory_order_relaxed);
+    if (analysis::Sanitizer* s = san()) s->on_wl_reset(this);
   }
 
   /// Returns false when full (work is dropped to the next sweep). A failed
@@ -156,7 +165,14 @@ class GlobalWorklist {
       }
     } while (!tail_.compare_exchange_weak(slot, slot + 1,
                                           std::memory_order_relaxed));
+    if (analysis::Sanitizer* s = san()) {
+      s->on_wl_claim(this, "global", agent_of(ctx), slot);
+    }
     items_[slot] = v;
+    // The publish hook precedes the commit CAS: once commit_ covers the
+    // slot a concurrent pop may legally claim it, so the shadow transition
+    // must already have happened.
+    if (analysis::Sanitizer* s = san()) s->on_wl_publish(this, "global", slot);
     // Publish in slot order so a concurrent pop never claims an index whose
     // item write has not completed.
     std::uint64_t expected = slot;
@@ -177,6 +193,9 @@ class GlobalWorklist {
     for (;;) {
       if (h >= commit_.load(std::memory_order_acquire)) return std::nullopt;
       if (head_.compare_exchange_weak(h, h + 1, std::memory_order_relaxed)) {
+        if (analysis::Sanitizer* s = san()) {
+          s->on_wl_pop(this, "global", agent_of(ctx), h);
+        }
         return items_[h];
       }
     }
@@ -192,6 +211,15 @@ class GlobalWorklist {
   }
 
  private:
+  analysis::Sanitizer* san() const {
+    return dev_ ? dev_->sanitizer() : nullptr;
+  }
+  /// Shadow-state agent: the executing block for device-side ops, the host
+  /// sentinel for protocol-driving code running outside a launch.
+  static std::uint32_t agent_of(const ThreadCtx& ctx) {
+    return ctx.device() ? ctx.block() : analysis::Sanitizer::kHostAgent;
+  }
+
   std::vector<T> items_;
   Device* dev_ = nullptr;
   std::atomic<std::uint64_t> tail_;    ///< next slot to reserve
@@ -241,6 +269,15 @@ class ShardedWorklist {
     }
   }
 
+  /// Same address-keyed shadow rule as GlobalWorklist, per shard ring.
+  ~ShardedWorklist() {
+    if (analysis::Sanitizer* s = san()) {
+      for (std::size_t i = 0; i < count_; ++i) s->on_wl_reset(&shards_[i]);
+    }
+  }
+  ShardedWorklist(const ShardedWorklist&) = delete;
+  ShardedWorklist& operator=(const ShardedWorklist&) = delete;
+
   std::size_t num_shards() const { return count_; }
   std::size_t shard_capacity() const { return shards_[0].items.size(); }
   std::uint64_t steals() const {
@@ -253,10 +290,12 @@ class ShardedWorklist {
   /// Discards all ring content (not the spill list, not the counters).
   /// Must not race with device-side ops (call between launches only).
   void reset() {
+    analysis::Sanitizer* const sa = san();
     for (std::size_t s = 0; s < count_; ++s) {
       shards_[s].tail.store(0, std::memory_order_relaxed);
       shards_[s].commit.store(0, std::memory_order_relaxed);
       shards_[s].head.store(0, std::memory_order_relaxed);
+      if (sa) sa->on_wl_reset(&shards_[s]);
     }
   }
 
@@ -300,7 +339,7 @@ class ShardedWorklist {
   /// only when the item was truly dropped.
   Status push(ThreadCtx& ctx, std::size_t shard, const T& v) {
     ctx.worklist_op(/*contended=*/false);
-    if (ring_push(shard, v)) return Status::Ok();
+    if (ring_push(shard, v, agent_of(ctx))) return Status::Ok();
     if (!spill_) {
       return Status(StatusCode::kWorklistFull,
                     "worklist shard full and no spill target attached");
@@ -313,7 +352,7 @@ class ShardedWorklist {
   /// Pops the oldest published item of `shard`, or nullopt when empty.
   std::optional<T> pop(ThreadCtx& ctx, std::size_t shard) {
     ctx.worklist_op(/*contended=*/false);
-    return ring_pop(shard);
+    return ring_pop(shard, agent_of(ctx));
   }
 
   /// Pops from the shards owned by the calling thread's block, in ascending
@@ -333,7 +372,7 @@ class ShardedWorklist {
   /// deterministic drivers only steal via rebalance().
   std::optional<T> steal(ThreadCtx& ctx, std::size_t victim_shard) {
     ctx.worklist_op(/*contended=*/true);
-    auto v = ring_pop(victim_shard);
+    auto v = ring_pop(victim_shard, agent_of(ctx));
     if (v) steals_.fetch_add(1, std::memory_order_relaxed);
     return v;
   }
@@ -426,16 +465,29 @@ class ShardedWorklist {
     std::atomic<std::uint64_t> head{0};    ///< next index to pop, <= commit
   };
 
+  analysis::Sanitizer* san() const {
+    return dev_ ? dev_->sanitizer() : nullptr;
+  }
+  static std::uint32_t agent_of(const ThreadCtx& ctx) {
+    return ctx.device() ? ctx.block() : analysis::Sanitizer::kHostAgent;
+  }
+
   /// Capacity-bounded claim + in-order publication (GlobalWorklist's
-  /// protocol, per ring). False when the ring is at capacity.
-  bool ring_push(std::size_t s, const T& v) {
+  /// protocol, per ring). False when the ring is at capacity. The shadow
+  /// publish precedes the commit CAS for the same reason as GlobalWorklist.
+  bool ring_push(std::size_t s, const T& v,
+                 std::uint32_t agent = analysis::Sanitizer::kHostAgent) {
     Shard& sh = shards_[s];
     std::uint64_t slot = sh.tail.load(std::memory_order_relaxed);
     do {
       if (slot >= sh.items.size()) return false;
     } while (!sh.tail.compare_exchange_weak(slot, slot + 1,
                                             std::memory_order_relaxed));
+    if (analysis::Sanitizer* sa = san()) {
+      sa->on_wl_claim(&sh, "shard", agent, slot);
+    }
     sh.items[slot] = v;
+    if (analysis::Sanitizer* sa = san()) sa->on_wl_publish(&sh, "shard", slot);
     std::uint64_t expected = slot;
     while (!sh.commit.compare_exchange_weak(expected, slot + 1,
                                             std::memory_order_release,
@@ -452,6 +504,7 @@ class ShardedWorklist {
     const std::uint64_t h = sh.head.load(std::memory_order_relaxed);
     const std::uint64_t c = sh.commit.load(std::memory_order_relaxed);
     if (h == 0) return;
+    if (analysis::Sanitizer* sa = san()) sa->on_wl_compact(&sh, h, c);
     std::move(sh.items.begin() + static_cast<std::ptrdiff_t>(h),
               sh.items.begin() + static_cast<std::ptrdiff_t>(c),
               sh.items.begin());
@@ -460,13 +513,18 @@ class ShardedWorklist {
     sh.tail.store(c - h, std::memory_order_relaxed);
   }
 
-  std::optional<T> ring_pop(std::size_t s) {
+  std::optional<T> ring_pop(std::size_t s,
+                            std::uint32_t agent =
+                                analysis::Sanitizer::kHostAgent) {
     Shard& sh = shards_[s];
     std::uint64_t h = sh.head.load(std::memory_order_relaxed);
     for (;;) {
       if (h >= sh.commit.load(std::memory_order_acquire)) return std::nullopt;
       if (sh.head.compare_exchange_weak(h, h + 1,
                                         std::memory_order_relaxed)) {
+        if (analysis::Sanitizer* sa = san()) {
+          sa->on_wl_pop(&sh, "shard", agent, h);
+        }
         return sh.items[h];
       }
     }

@@ -54,6 +54,14 @@ MstResult mst_gpu(const graph::CsrGraph& g, gpu::Device& dev) {
   MstResult res;
   const Node n = g.num_nodes();
   if (n == 0) return res;
+  // The pointer-jumping convergence flag is a deliberate one-way race:
+  // many threads store `true`, nobody reads until the launch returns.
+  if (analysis::Sanitizer* s = dev.sanitizer()) {
+    s->note_intentional(
+        "mst.jump-converged-flag",
+        "relaxed many-writer convergence flag; only ever set to true within "
+        "a launch and read after the launch completes");
+  }
 
   std::vector<Node> comp(n);
   for (Node u = 0; u < n; ++u) comp[u] = u;
@@ -79,7 +87,8 @@ MstResult mst_gpu(const graph::CsrGraph& g, gpu::Device& dev) {
 
   const std::uint32_t sm = dev.config().num_sms;
   const gpu::LaunchConfig lc{
-      std::clamp<std::uint32_t>(n / 256 + 1, 3 * sm, 50 * sm), 256};
+      std::clamp<std::uint32_t>(n / 256 + 1, 3 * sm, 50 * sm), 256,
+      "mst.boruvka"};
   const std::uint64_t T = lc.total_threads();
 
   // WorklistMode::kSharded: the alive list is mirrored into a sharded

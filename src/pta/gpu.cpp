@@ -69,6 +69,14 @@ class ChunkList {
     auto& last = chunks_.back();
     auto end = last.begin() + used_;
     auto it = std::lower_bound(last.begin(), end, u);
+    // Shadow the chunk write so a freed-then-reused chunk is caught as a
+    // use-after-free. Host agent: the write is serialized under the caller's
+    // list_mu, so it is never part of an inter-block race.
+    if (analysis::Sanitizer* s = heap.device()->sanitizer()) {
+      s->on_access(analysis::Sanitizer::kHostAgent, &*it,
+                   static_cast<std::size_t>(end - it + 1) * sizeof(Var),
+                   analysis::Sanitizer::Access::kWrite);
+    }
     std::copy_backward(it, end, end + 1);
     *it = u;
     ++used_;
@@ -105,6 +113,15 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
   const std::uint32_t n = cs.num_vars;
 
   PtsSets pts(n);
+  // The pull model's defining shortcut is a benign race on real hardware;
+  // on the host it is guarded (striped mutexes below), so the sanitizer
+  // only needs the intent on record for the clean report.
+  if (analysis::Sanitizer* s = dev.sanitizer()) {
+    s->note_intentional(
+        "pta.pull-stale-reads",
+        "pull-model readers may observe stale points-to sets; safe because "
+        "set growth is monotonic and the fixed point is unique");
+  }
   gpu::DeviceHeap<Var> heap(dev, opts.chunk_elems);
   if (opts.arena_max_chunks > 0) heap.set_max_chunks(opts.arena_max_chunks);
   std::vector<ChunkList> nbr(n);  // incoming (pull) or outgoing (push)
@@ -207,7 +224,8 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
 
   // Phase 1 (init): seed points-to sets from address-of constraints.
   {
-    const gpu::LaunchConfig lc = launcher.next(dev.config());
+    gpu::LaunchConfig lc = launcher.next(dev.config());
+    lc.label = "pta.init";
     const std::uint64_t T = lc.total_threads();
     dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
       for (std::uint64_t v = ctx.tid(); v < n; v += T) {
@@ -228,7 +246,8 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
   // under allocation pressure: try_insert is idempotent, so a re-run only
   // adds the edges the previous attempt was denied.
   {
-    const gpu::LaunchConfig lc = launcher.next(dev.config());
+    gpu::LaunchConfig lc = launcher.next(dev.config());
+    lc.label = "pta.copy";
     const std::uint64_t T = lc.total_threads();
     bool rerun = true;
     // Sequential under sharded mode: insert_edge's op count includes the
@@ -266,7 +285,8 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
   bool full_sweep = false;  // replay all constraints after a pressured round
   while (progress) {
     ++st.iterations;
-    const gpu::LaunchConfig lc = launcher.next(dev.config());
+    gpu::LaunchConfig lc = launcher.next(dev.config());
+    lc.label = "pta.solve";
     const std::uint64_t T = lc.total_threads();
     std::uint64_t round_added = 0;          // bumped under list_mu only
     std::atomic<std::uint64_t> round_grew{0};

@@ -16,9 +16,9 @@ CliArgs::CliArgs(int argc, char** argv) {
     arg = arg.substr(2);
     auto eq = arg.find('=');
     if (eq == std::string::npos) {
-      flags_[arg] = "1";
+      flags_.insert_or_assign(std::move(arg), std::string("1"));
     } else {
-      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      flags_.insert_or_assign(arg.substr(0, eq), arg.substr(eq + 1));
     }
   }
 }

@@ -58,6 +58,18 @@ Json BenchReport::to_json() const {
     jrows.push_back(std::move(jr));
   }
   doc.set("rows", std::move(jrows));
+  if (sanitizer.enabled) {
+    Json js = Json::object();
+    js.set("spec", sanitizer.spec);
+    Json jc = Json::object();
+    for (const auto& [k, v] : sanitizer.counts) jc.set(k, v);
+    js.set("counts", std::move(jc));
+    Json jf = Json::array();
+    for (const std::string& f : sanitizer.findings) jf.push_back(Json(f));
+    js.set("findings", std::move(jf));
+    js.set("suppressed", sanitizer.suppressed);
+    doc.set("sanitizer", std::move(js));
+  }
   return doc;
 }
 
@@ -86,6 +98,18 @@ BenchReport BenchReport::from_json(const Json& doc) {
     for (const auto& [k, v] : jr.at("metrics").items()) {
       row.metric(k, v.as_double());
     }
+  }
+  if (const Json* js = doc.find("sanitizer")) {
+    r.sanitizer.enabled = true;
+    r.sanitizer.spec = js->at("spec").as_string();
+    for (const auto& [k, v] : js->at("counts").items()) {
+      r.sanitizer.counts.emplace_back(k, v.as_double());
+    }
+    const Json& jf = js->at("findings");
+    for (std::size_t i = 0; i < jf.size(); ++i) {
+      r.sanitizer.findings.push_back(jf.at(i).as_string());
+    }
+    r.sanitizer.suppressed = js->at("suppressed").as_double();
   }
   return r;
 }

@@ -30,6 +30,18 @@ struct BenchReport {
     const double* find(const std::string& key) const;   ///< nullptr if absent
   };
 
+  /// Hazard-sanitizer summary (analysis/sanitizer.hpp). Serialized as an
+  /// optional "sanitizer" object — emitted only when `enabled`, so reports
+  /// from unsanitized runs stay byte-identical to schema v1 output.
+  struct SanitizerSection {
+    bool enabled = false;
+    std::string spec;  ///< the --sanitize value, e.g. "races,worklist"
+    /// (class name, finding count) pairs, e.g. ("races", 0).
+    std::vector<std::pair<std::string, double>> counts;
+    std::vector<std::string> findings;  ///< formatted diagnostics (capped)
+    double suppressed = 0;              ///< findings beyond the report cap
+  };
+
   std::string bench;   ///< binary name, e.g. "fig6_dmr_runtime"
   std::string title;   ///< human title, e.g. "Fig. 6 — DMR runtime"
   double clock_ghz = 1.0;
@@ -37,6 +49,7 @@ struct BenchReport {
   /// the same configuration produce comparable reports).
   std::vector<std::pair<std::string, std::string>> args;
   std::vector<Row> rows;
+  SanitizerSection sanitizer;
 
   Row& add_row(const std::string& name);
   const Row* find_row(const std::string& name) const;
