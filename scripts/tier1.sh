@@ -54,7 +54,8 @@ echo "== tier 1: sharded worklist (cross-worker byte-identity) =="
 # The sharded fast path's contract: answers, modeled stats, and telemetry
 # traces are byte-identical for any --host-workers value (owner-only pops,
 # block-order publication, host-side rebalance — DESIGN.md 6.1).
-for spec in "fig6_dmr_runtime --scale=64" "fig10_pta" "fig11_mst --scale=16"; do
+for spec in "fig6_dmr_runtime --scale=64" "fig9_sp --scale=400" "fig10_pta" \
+            "fig11_mst --scale=16"; do
   set -- $spec
   name="$1"; shift
   "$BUILD/bench/$name" "$@" --worklist-mode=sharded --host-workers=1 \
@@ -68,6 +69,13 @@ done
 "$BUILD"/bench/fig6_dmr_runtime --scale=64 --worklist-mode=sharded \
     --host-workers=4 --trace="$SMOKE/t4.json" > /dev/null 2>&1
 cmp "$SMOKE/t1.json" "$SMOKE/t4.json"
+# SP joined the byte-identity gate when its sweep moved to snapshot reads
+# with a block-ordered max reduction: even the telemetry traces must match.
+"$BUILD"/bench/fig9_sp --scale=400 --worklist-mode=sharded \
+    --host-workers=1 --trace="$SMOKE/sp1.json" > /dev/null 2>&1
+"$BUILD"/bench/fig9_sp --scale=400 --worklist-mode=sharded \
+    --host-workers=4 --trace="$SMOKE/sp4.json" > /dev/null 2>&1
+cmp "$SMOKE/sp1.json" "$SMOKE/sp4.json"
 # A bad mode must fail loudly with the parse exit code (2).
 if "$BUILD"/bench/fig11_mst --worklist-mode=bogus > /dev/null 2>&1; then
   echo "ERROR: malformed --worklist-mode was accepted" >&2
@@ -79,7 +87,8 @@ echo "== tier 1: hazard sanitizer (MorphSan clean paths + byte-identity) =="
 # scales (exit 4 = findings), and attaching the sanitizer must not perturb
 # a single modeled metric: the JSON reports diff clean against unsanitized
 # runs (wall-clock metrics carry the diff tool's default tolerance).
-for spec in "fig6_dmr_runtime --scale=64" "fig10_pta" "fig11_mst --scale=16"; do
+for spec in "fig6_dmr_runtime --scale=64" "fig9_sp --scale=400" "fig10_pta" \
+            "fig10_pta --worklist-mode=sharded" "fig11_mst --scale=16"; do
   set -- $spec
   name="$1"; shift
   "$BUILD/bench/$name" "$@" --json="$SMOKE/plain.json" > /dev/null
@@ -98,7 +107,7 @@ echo "== tier 1: perf (bench snapshot vs committed baseline) =="
 # is tight, with a little slack on the aggregate cycle counts so a
 # legitimately-moved metric points at the PR that moved it (regenerate the
 # baseline with scripts/bench_snapshot.sh when the move is intentional).
-BASELINE="BENCH_2026-08-05.json"
+BASELINE="BENCH_2026-08-08.json"
 if [[ -f "$BASELINE" ]]; then
   scripts/bench_snapshot.sh "$BUILD" "$SMOKE/snapshot.json" > /dev/null
   "$BUILD"/tools/morph-report diff "$BASELINE" "$SMOKE/snapshot.json" \
@@ -114,7 +123,7 @@ fi
 if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread - -o /dev/null 2>/dev/null; then
   echo "== tier 1: TSan build + ctest -L 'gpu|core|dmr' =="
   cmake -B "$TSAN_BUILD" -S . -DMORPH_TSAN=ON
-  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr test_resilience test_sancheck
+  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr test_resilience test_sancheck test_sp test_pta
   ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" -L 'gpu|core|dmr'
 else
   echo "== tier 1: libtsan not available; skipping TSan pass =="

@@ -3,16 +3,22 @@
 // incoming neighbors allocated by kernel-side malloc (the Kernel-Only
 // strategy of Sec. 7.1); chunk contents are sorted by id for fast lookup.
 // Propagation is pull-based: only the owning thread writes a node's
-// points-to set, so no synchronization is needed (monotonicity makes stale
-// reads safe). The push-based variant is kept for the ablation bench.
+// points-to set. The push-based variant is kept for the ablation bench.
+//
+// Every phase runs block-parallel under any worklist mode and stays
+// bit-deterministic across host worker counts: list growth is parked in
+// per-list pending buffers and merged between launches (ChunkList), the
+// propagation phase reads the round-start points-to image and commits grown
+// sets host-side in deterministic order, and every op charge is computed
+// against pre-phase state (the snapshot-charging rule, DESIGN.md §6.1).
 #include <algorithm>
-#include <array>
-#include <atomic>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "core/adaptive.hpp"
 #include "gpu/memory.hpp"
+#include "gpu/reduce.hpp"
 #include "gpu/worklist.hpp"
 #include "pta/solve.hpp"
 #include "support/status.hpp"
@@ -36,72 +42,115 @@ bool union_into(std::vector<Var>& dst, const std::vector<Var>& src,
 }
 
 /// Per-node chunked neighbor list backed by device-heap chunks.
+///
+/// Determinism contract (DESIGN.md §6.1): during a launch the *canonical*
+/// chunks are immutable — same-phase inserts are parked in a host-side
+/// pending buffer — so a membership walk, and the ops it charges, is a pure
+/// function of the pre-phase snapshot, never of cross-thread interleaving.
+/// The host merges the pending values back into the chunks between launches
+/// (merge_pending, called per list in ascending node order), which also
+/// moves every chunk allocation to a deterministic point. Canonical chunk
+/// contents are globally sorted (merge_pending rewrites them that way), so
+/// lookups binary-search each chunk exactly as the paper's kernel does.
 class ChunkList {
  public:
-  bool contains(Var u, std::uint32_t used_in_last,
-                std::uint64_t* ops) const {
-    for (std::size_t i = 0; i < chunks_.size(); ++i) {
-      const std::size_t n =
-          (i + 1 == chunks_.size()) ? used_in_last : chunks_[i].size();
+  /// Membership against the canonical snapshot: 1 op per chunk probed.
+  bool contains_canonical(Var u, std::uint64_t* ops) const {
+    std::size_t left = csize_;
+    for (const std::span<Var>& ch : chunks_) {
+      if (left == 0) break;
+      const std::size_t n = std::min(left, ch.size());
       if (ops) *ops += 1;
-      if (std::binary_search(chunks_[i].begin(), chunks_[i].begin() + n, u))
-        return true;
+      if (std::binary_search(ch.begin(), ch.begin() + n, u)) return true;
+      left -= n;
     }
     return false;
   }
 
-  /// Inserts u if absent; allocates a new chunk from the heap when the
-  /// current one is full. Sets *added when u is new. A denied allocation
-  /// (arena budget or injected exhaustion) leaves the list untouched and
-  /// returns kArenaExhausted so the caller can degrade to Kernel-Host
-  /// growth instead of dying mid-kernel.
-  Status try_insert(gpu::DeviceHeap<Var>& heap, Var u, std::uint64_t* ops,
-                    bool* added) {
+  /// Inserts u into the pending buffer if absent from canonical ∪ pending.
+  /// Sets *added when u is new to this phase. Deterministic charging: the
+  /// canonical walk plus, for any value not already canonical, a flat
+  /// probe-and-insert charge — identical whether this thread pends the
+  /// value first or loses that race, so op totals are schedule-independent.
+  void insert_pending(Var u, std::uint64_t* ops, bool* added) {
     *added = false;
-    if (contains(u, used_, ops)) return Status::Ok();
-    if (chunks_.empty() || used_ == chunks_.back().size()) {
+    if (contains_canonical(u, ops)) return;
+    if (ops) *ops += 3;
+    const auto it = std::lower_bound(pending_.begin(), pending_.end(), u);
+    if (it != pending_.end() && *it == u) return;
+    pending_.insert(it, u);
+    *added = true;
+  }
+
+  bool has_pending() const { return !pending_.empty(); }
+
+  /// Host-side fix-up (between launches): folds the pending buffer into the
+  /// canonical chunks, allocating from the heap as needed. Charges 8 ops
+  /// per fresh chunk (the device-malloc path) plus one per element the
+  /// rewrite moves; *merged counts the values that became canonical. A
+  /// denied allocation (arena budget or injected exhaustion) drops the
+  /// whole pending buffer and returns kArenaExhausted — the caller degrades
+  /// to Kernel-Host growth and the dropped inserts replay on a full sweep.
+  Status merge_pending(gpu::DeviceHeap<Var>& heap, std::uint64_t* ops,
+                       std::uint64_t* merged) {
+    if (pending_.empty()) return Status::Ok();
+    const std::size_t total = csize_ + pending_.size();
+    while (chunks_.size() * heap.chunk_elems() < total) {
       std::span<Var> chunk;
-      if (Status s = heap.try_alloc_chunk(&chunk); !s.ok()) return s;
+      if (Status s = heap.try_alloc_chunk(&chunk); !s.ok()) {
+        pending_.clear();
+        return s;
+      }
       chunks_.push_back(chunk);
-      used_ = 0;
       if (ops) *ops += 8;  // device malloc path
     }
-    auto& last = chunks_.back();
-    auto end = last.begin() + used_;
-    auto it = std::lower_bound(last.begin(), end, u);
-    // Shadow the chunk write so a freed-then-reused chunk is caught as a
-    // use-after-free. Host agent: the write is serialized under the caller's
-    // list_mu, so it is never part of an inter-block race.
-    if (analysis::Sanitizer* s = heap.device()->sanitizer()) {
-      s->on_access(analysis::Sanitizer::kHostAgent, &*it,
-                   static_cast<std::size_t>(end - it + 1) * sizeof(Var),
-                   analysis::Sanitizer::Access::kWrite);
+    std::vector<Var> all;
+    all.reserve(total);
+    {
+      std::vector<Var> canon;
+      canon.reserve(csize_);
+      for_each([&](Var x) { canon.push_back(x); });
+      std::merge(canon.begin(), canon.end(), pending_.begin(),
+                 pending_.end(), std::back_inserter(all));
     }
-    std::copy_backward(it, end, end + 1);
-    *it = u;
-    ++used_;
-    if (ops) *ops += 2;
-    *added = true;
+    std::size_t w = 0;
+    for (const std::span<Var>& ch : chunks_) {
+      const std::size_t n = std::min(ch.size(), total - w);
+      if (n == 0) break;
+      // Shadow the chunk rewrite so a freed-then-reused chunk is caught as
+      // a use-after-free. Host agent: the merge runs between launches, so
+      // it is never part of an inter-block race.
+      if (analysis::Sanitizer* s = heap.device()->sanitizer()) {
+        s->on_access(analysis::Sanitizer::kHostAgent, ch.data(),
+                     n * sizeof(Var), analysis::Sanitizer::Access::kWrite);
+      }
+      std::copy(all.begin() + w, all.begin() + w + n, ch.begin());
+      w += n;
+    }
+    if (ops) *ops += total;
+    if (merged) *merged += pending_.size();
+    csize_ = total;
+    pending_.clear();
     return Status::Ok();
   }
 
   template <typename F>
   void for_each(F&& f) const {
-    for (std::size_t i = 0; i < chunks_.size(); ++i) {
-      const std::size_t n =
-          (i + 1 == chunks_.size()) ? used_ : chunks_[i].size();
-      for (std::size_t q = 0; q < n; ++q) f(chunks_[i][q]);
+    std::size_t left = csize_;
+    for (const std::span<Var>& ch : chunks_) {
+      const std::size_t n = std::min(left, ch.size());
+      for (std::size_t q = 0; q < n; ++q) f(ch[q]);
+      left -= n;
+      if (left == 0) break;
     }
   }
 
-  std::size_t size() const {
-    if (chunks_.empty()) return 0;
-    return (chunks_.size() - 1) * chunks_.front().size() + used_;
-  }
+  std::size_t size() const { return csize_; }
 
  private:
   std::vector<std::span<Var>> chunks_;
-  std::uint32_t used_ = 0;
+  std::size_t csize_ = 0;          ///< canonical element count
+  std::vector<Var> pending_;       ///< same-phase inserts, sorted unique
 };
 
 }  // namespace
@@ -113,15 +162,11 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
   const std::uint32_t n = cs.num_vars;
 
   PtsSets pts(n);
-  // The pull model's defining shortcut is a benign race on real hardware;
-  // on the host it is guarded (striped mutexes below), so the sanitizer
-  // only needs the intent on record for the clean report.
-  if (analysis::Sanitizer* s = dev.sanitizer()) {
-    s->note_intentional(
-        "pta.pull-stale-reads",
-        "pull-model readers may observe stale points-to sets; safe because "
-        "set growth is monotonic and the fixed point is unique");
-  }
+  // No "stale reads" waiver is needed any more: during a propagation launch
+  // the points-to sets are frozen (readers see the round-start image) and
+  // grown sets are staged and committed host-side in deterministic order
+  // between launches — so there is nothing racy, intentional or otherwise,
+  // for the sanitizer to look past.
   gpu::DeviceHeap<Var> heap(dev, opts.chunk_elems);
   if (opts.arena_max_chunks > 0) heap.set_max_chunks(opts.arena_max_chunks);
   std::vector<ChunkList> nbr(n);  // incoming (pull) or outgoing (push)
@@ -130,19 +175,40 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
   std::mutex list_mu;  // host-side guard; cost is charged via the model
 
   // --- Kernel-Only -> Kernel-Host degradation (docs/RESILIENCE.md) ---
-  // A denied chunk allocation sets allocation pressure (under list_mu) and
-  // skips that edge; between launches the host grows the arena under the
-  // bounded-retry policy and the denied inserts replay on a full sweep.
-  // The fixed point is unique, so the degraded run converges to the same
-  // solution.
+  // Chunk allocation happens only in the between-launch fix-up pass. A
+  // denied allocation there sets allocation pressure and drops that list's
+  // pending inserts; the host then grows the arena under the bounded-retry
+  // policy and the dropped inserts replay on a full sweep. The fixed point
+  // is unique, so the degraded run converges to the same solution.
   bool arena_pressure = false;
   std::uint64_t arena_attempt = 0;
   auto insert_edge = [&](Var list, Var value, std::uint64_t* ops) {
     bool added = false;
-    if (!nbr[list].try_insert(heap, value, ops, &added).ok()) {
-      arena_pressure = true;
-    }
+    nbr[list].insert_pending(value, ops, &added);
     return added;
+  };
+  // Fix-up pass, run after every list-mutating launch: folds each list's
+  // pending buffer into its canonical chunks, in ascending node order.
+  // Returns the number of edges that became canonical; their count (and
+  // the arena-pressure outcome) is a pure function of the pre-launch state,
+  // so rounds and stats stay bit-identical across host worker counts. The
+  // merge traffic is charged through a dedicated single-block launch so it
+  // lands in the model and the trace at a deterministic point.
+  auto fixup_lists = [&]() -> std::uint64_t {
+    std::uint64_t ops = 0;
+    std::uint64_t merged = 0;
+    for (Var v = 0; v < n; ++v) {
+      if (!nbr[v].has_pending()) continue;
+      if (!nbr[v].merge_pending(heap, &ops, &merged).ok()) {
+        arena_pressure = true;
+      }
+    }
+    if (ops > 0) {
+      const gpu::LaunchConfig flc{1, 1, "pta.fixup"};
+      dev.launch(flc, [&](gpu::ThreadCtx& ctx) { ctx.work(ops); });
+    }
+    st.edges_added += merged;
+    return merged;
   };
   auto recover_arena = [&] {
     arena_pressure = false;
@@ -164,24 +230,6 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
     dev.note_recovery(
         "pta arena exhausted: degraded to Kernel-Host growth, replaying "
         "denied inserts");
-  };
-
-  // Pull-phase guard for the points-to sets: on the GPU the pull model needs
-  // no synchronization (stale reads are safe under monotonicity), but on the
-  // host a reader of pts[u] must not observe the owner's vector mid-swap.
-  // Striped mutexes keep contention low; the cost model is unaffected (the
-  // stripes model what the GPU gets for free from word-atomic loads).
-  constexpr std::size_t kPtsStripes = 64;
-  std::array<std::mutex, kPtsStripes> pts_mu;
-  auto locked_union = [&](Var v, Var u, std::uint64_t* ops) {
-    std::mutex& mv = pts_mu[v % kPtsStripes];
-    std::mutex& mu = pts_mu[u % kPtsStripes];
-    if (&mv == &mu) {
-      std::scoped_lock lock(mv);
-      return union_into(pts[v], pts[u], ops);
-    }
-    std::scoped_lock lock(mv, mu);
-    return union_into(pts[v], pts[u], ops);
   };
 
   // Transfer the constraints to the device (main()).
@@ -210,10 +258,11 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
   // (pseudo-partitioned by constraint index, then rebalanced — the
   // deterministic steal), and the kernel pops from the shards its block
   // owns instead of striding all constraints and skipping disabled ones.
-  // The phases that mutate shared lists/sets run as sequential phases in
-  // this mode: claims are published in block order (PR 2's commit
-  // protocol), which is what keeps answers, op accounting and modeled
-  // stats bit-identical for any --host-workers value.
+  // Every phase runs block-parallel in every mode: list growth pends and is
+  // merged between launches, propagation reads the round-start snapshot and
+  // commits in node order, and all op charging is against pre-phase state —
+  // which is what keeps answers, op accounting and modeled stats
+  // bit-identical for any --host-workers value (DESIGN.md §6.1).
   const bool sharded =
       dev.config().worklist_mode == gpu::WorklistMode::kSharded;
   std::optional<gpu::ShardedWorklist<std::uint32_t>> swl;
@@ -243,16 +292,17 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
   }
 
   // Static copy edges (evaluate phase of the first iteration). Replayed
-  // under allocation pressure: try_insert is idempotent, so a re-run only
-  // adds the edges the previous attempt was denied.
+  // under allocation pressure: insert_pending is idempotent against the
+  // canonical set, so a re-run only pends the edges a denied merge dropped.
   {
     gpu::LaunchConfig lc = launcher.next(dev.config());
     lc.label = "pta.copy";
     const std::uint64_t T = lc.total_threads();
     bool rerun = true;
-    // Sequential under sharded mode: insert_edge's op count includes the
-    // contains() walk over whatever the target list holds at lock
-    // acquisition, so it depends on insertion order across threads.
+    // Block-parallel in every mode: inserts pend (canonical lists are
+    // immutable during the launch), so insert_edge's op count is charged
+    // against the pre-launch snapshot and cannot depend on the order
+    // threads reach the lock.
     const auto copy_kernel = [&](gpu::ThreadCtx& ctx) {
       for (std::uint64_t i = ctx.tid(); i < copy.size(); i += T) {
         const Constraint& c = copy[i];
@@ -263,24 +313,21 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
         const bool added = opts.push_based
                                ? insert_edge(c.src, c.dst, &ops)
                                : insert_edge(c.dst, c.src, &ops);
-        if (added) {
-          ++st.edges_added;
-          touched[opts.push_based ? c.src : c.dst] = 1;
-        }
+        if (added) touched[opts.push_based ? c.src : c.dst] = 1;
         ctx.work(ops);
         if (opts.push_based) ctx.atomic_op();  // shared target list
       }
     };
     while (rerun) {
-      const gpu::Phase pc[1] = {{copy_kernel, /*sequential=*/sharded}};
+      const gpu::Phase pc[1] = {{copy_kernel, /*sequential=*/false}};
       dev.launch_phases(lc, std::span<const gpu::Phase>(pc));
+      (void)fixup_lists();
       rerun = arena_pressure;
       if (arena_pressure) recover_arena();
     }
     arena_attempt = 0;
   }
 
-  std::vector<Var> snapshot;
   bool progress = true;
   bool full_sweep = false;  // replay all constraints after a pressured round
   while (progress) {
@@ -288,8 +335,7 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
     gpu::LaunchConfig lc = launcher.next(dev.config());
     lc.label = "pta.solve";
     const std::uint64_t T = lc.total_threads();
-    std::uint64_t round_added = 0;          // bumped under list_mu only
-    std::atomic<std::uint64_t> round_grew{0};
+    std::uint64_t round_grew = 0;  // committed host-side, between launches
 
     // Sharded: seed this round's enabled constraints (the same predicate
     // the strided kernel applies inline), then rebalance so starved shards
@@ -340,10 +386,6 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
                                     : insert_edge(v, c.src, &ops);
             if (added) touched[opts.push_based ? c.src : v] = 1;
           }
-          if (added) {
-            ++st.edges_added;
-            ++round_added;
-          }
           ctx.work(ops + 1);
           if (opts.push_based) ctx.atomic_op();
         }
@@ -359,12 +401,13 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
       }
     };
     {
-      const gpu::Phase pa[1] = {{phase_a, /*sequential=*/sharded}};
+      const gpu::Phase pa[1] = {{phase_a, /*sequential=*/false}};
       dev.launch_phases(lc, std::span<const gpu::Phase>(pa));
     }
+    const std::uint64_t round_added = fixup_lists();
 
     // Kernel-Host fallback: grow the arena before the next sweep, which
-    // will re-evaluate every constraint so the denied inserts replay.
+    // will re-evaluate every constraint so the dropped inserts replay.
     full_sweep = arena_pressure;
     if (arena_pressure) {
       recover_arena();
@@ -385,10 +428,16 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
         }
       }
       const std::uint64_t todo = opts.divergence_sort ? active.size() : n;
-      // Sequential under sharded mode: a pull reader charges ops against
-      // pts[u] snapshots, so the counts depend on whether u's owner already
-      // ran this round — block order pins that (the cost model is identical
-      // for sequential phases).
+      // Jacobi round: every reader sees the round-start points-to image
+      // (pts is frozen for the whole launch), grown sets are staged per
+      // node, and the host commits them in ascending node order after the
+      // launch. Values, op charges and the grew count are all pure
+      // functions of the round-start state, so the phase runs
+      // block-parallel in every mode with no locks at all. The staging
+      // copy is simulation bookkeeping: the modeled union charge is the
+      // same in-place sequence the GPU kernel would execute.
+      std::vector<std::vector<Var>> staged(todo);
+      std::vector<std::uint8_t> grew_at(todo, 0);
       const auto phase_b = [&](gpu::ThreadCtx& ctx) {
         for (std::uint64_t i = ctx.tid(); i < todo; i += T) {
           const Var v = opts.divergence_sort ? active[i]
@@ -404,47 +453,69 @@ PtsSets solve_gpu(const ConstraintSet& cs, gpu::Device& dev,
           }
           bool grew = false;
           std::uint64_t ops = 0;
+          std::vector<Var> acc = pts[v];
           nbr[v].for_each([&](Var u) {
-            grew |= locked_union(v, u, &ops);
+            grew |= union_into(acc, pts[u], &ops);
           });
           ctx.work(ops);
           ctx.global_access(nbr[v].size());
           if (grew) {
-            changed_next[v] = 1;
-            round_grew.fetch_add(1, std::memory_order_relaxed);
+            staged[i].swap(acc);
+            grew_at[i] = 1;
           }
         }
       };
-      const gpu::Phase pb[1] = {{phase_b, /*sequential=*/sharded}};
+      const gpu::Phase pb[1] = {{phase_b, /*sequential=*/false}};
       dev.launch_phases(lc, std::span<const gpu::Phase>(pb));
+      for (std::uint64_t i = 0; i < todo; ++i) {
+        if (!grew_at[i]) continue;
+        const Var v =
+            opts.divergence_sort ? active[i] : static_cast<Var>(i);
+        pts[v].swap(staged[i]);
+        changed_next[v] = 1;
+        ++round_grew;
+      }
     } else {
       // Push: a node writes into its successors' sets; every update is
-      // synchronized (the cost the pull model avoids).
+      // synchronized (the cost the pull model avoids — the atomics are
+      // charged in-kernel, against the round-start set sizes). The writes
+      // themselves are staged in per-block buffers and committed in
+      // (block, program) order after the launch, which pins the union
+      // order — and with it changed_next and the grew count — without any
+      // lock.
+      gpu::BlockReduce<std::vector<std::pair<Var, Var>>> staged(lc.blocks,
+                                                                {});
       const auto phase_b = [&](gpu::ThreadCtx& ctx) {
         for (std::uint64_t u = ctx.tid(); u < n; u += T) {
           ctx.work(1);
           if (!changed_cur[u] && !touched[u]) continue;
           std::uint64_t ops = 0;
-          std::scoped_lock lock(list_mu);
           nbr[u].for_each([&](Var v) {
             ctx.atomic_op();
-            if (union_into(pts[v], pts[u], &ops)) {
-              changed_next[v] = 1;
-              round_grew.fetch_add(1, std::memory_order_relaxed);
-            }
+            ops += pts[v].size() + pts[u].size() + 1;
+            staged.slot(ctx.block()).push_back(
+                {v, static_cast<Var>(u)});
           });
           ctx.work(ops);
         }
       };
-      const gpu::Phase pb[1] = {{phase_b, /*sequential=*/sharded}};
+      const gpu::Phase pb[1] = {{phase_b, /*sequential=*/false}};
       dev.launch_phases(lc, std::span<const gpu::Phase>(pb));
+      for (std::uint32_t b = 0; b < staged.num_blocks(); ++b) {
+        for (const auto& [v, u] : staged.slot(b)) {
+          if (union_into(pts[v], pts[u], nullptr)) {
+            changed_next[v] = 1;
+            ++round_grew;
+          }
+        }
+      }
     }
 
     st.counted_work = dev.stats().total_work;
     std::fill(touched.begin(), touched.end(), 0);
     changed_cur.swap(changed_next);
     std::fill(changed_next.begin(), changed_next.end(), 0);
-    progress = round_added > 0 || round_grew.load() > 0 || full_sweep;
+    progress = round_added > 0 || round_grew > 0 || full_sweep;
   }
 
   // Invariant gate under fault campaigns: the survived run must still be a

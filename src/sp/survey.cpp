@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cmath>
 #include <functional>
-#include <mutex>
 #include <optional>
 
+#include "gpu/reduce.hpp"
 #include "gpu/worklist.hpp"
 #include "support/status.hpp"
 #include "support/timer.hpp"
@@ -17,27 +17,17 @@ namespace {
 
 constexpr double kTinySurvivor = 1e-12;
 
-// On the GPU a sweep's cross-clause eta reads are benign word-sized data
-// races (each edge has one writer; readers tolerate stale values because the
-// iteration converges regardless). Under block-parallel host execution the
-// same accesses need defined behaviour: route them through relaxed
-// std::atomic_ref, which compiles to plain loads/stores on mainstream
-// hardware. Same-clause accesses are single-writer/single-reader per thread
-// and stay plain.
-double eta_load(const FactorGraph& g, std::uint32_t e) {
-  return std::atomic_ref<double>(const_cast<double&>(g.eta[e]))
-      .load(std::memory_order_relaxed);
-}
-
-void eta_store(FactorGraph& g, std::uint32_t e, double v) {
-  std::atomic_ref<double>(g.eta[e]).store(v, std::memory_order_relaxed);
-}
-
 /// Products over literal j's alive edges other than `self`, split by
 /// occurrence sign *relative to* `sgn` (j's sign in the clause being
-/// updated). Direct walk of j's clause list — the uncached path.
+/// updated). Direct walk of j's clause list — the uncached path. With
+/// `eta_prev` set the walk reads the pre-sweep snapshot (Jacobi; see
+/// update_clause in survey.hpp); otherwise it reads g.eta in place. In a
+/// snapshot sweep no thread ever reads another clause's live eta cells, so
+/// the sweep kernel is race-free by access pattern, not by atomics —
+/// MorphSan checks this instead of waiving it.
 void walk_products(const FactorGraph& g, Lit j, std::uint32_t self, bool sgn,
-                   double& prod_same, double& prod_opp, std::uint64_t* ops) {
+                   const double* eta_prev, double& prod_same,
+                   double& prod_opp, std::uint64_t* ops) {
   prod_same = 1.0;
   prod_opp = 1.0;
   std::uint64_t n = 0;
@@ -46,7 +36,7 @@ void walk_products(const FactorGraph& g, Lit j, std::uint32_t self, bool sgn,
     ++n;
     if (!g.edge_alive[b] || b == self) continue;
     const bool bsgn = g.formula->negated[b] != 0;
-    const double v = 1.0 - eta_load(g, b);
+    const double v = 1.0 - (eta_prev ? eta_prev[b] : g.eta[b]);
     if (bsgn == sgn) {
       prod_same *= v;
     } else {
@@ -78,7 +68,7 @@ std::uint64_t refresh_cache_lit(const FactorGraph& g, Lit i, SurveyCache& c) {
 }
 
 double update_clause(FactorGraph& g, Clause c, const SurveyCache* cache,
-                     std::uint64_t* ops) {
+                     std::uint64_t* ops, const double* eta_prev) {
   if (!g.clause_alive[c]) return 0.0;
   const std::uint32_t k = g.k;
   double pterm[8];
@@ -92,19 +82,22 @@ double update_clause(FactorGraph& g, Clause c, const SurveyCache* cache,
     const Lit j = g.formula->clause_lit[e];
     const bool sgn = g.formula->negated[e] != 0;
 
+    // Own-edge reads: each edge is written exactly once per sweep, by this
+    // clause's updater, and only after all its reads — so the live value
+    // still equals the snapshot here and either source is exact.
     double prod_same, prod_opp;
     if (cache) {
-      const double mine = 1.0 - g.eta[e];
+      const double mine = 1.0 - (eta_prev ? eta_prev[e] : g.eta[e]);
       const double same_all = sgn ? cache->neg[j] : cache->pos[j];
       prod_opp = sgn ? cache->pos[j] : cache->neg[j];
       if (mine > kTinySurvivor) {
         prod_same = same_all / mine;
         if (ops) *ops += 4;
       } else {
-        walk_products(g, j, e, sgn, prod_same, prod_opp, ops);
+        walk_products(g, j, e, sgn, eta_prev, prod_same, prod_opp, ops);
       }
     } else {
-      walk_products(g, j, e, sgn, prod_same, prod_opp, ops);
+      walk_products(g, j, e, sgn, eta_prev, prod_same, prod_opp, ops);
     }
     // Clamp tiny negative dust from the division.
     prod_same = std::max(prod_same, 0.0);
@@ -133,7 +126,7 @@ double update_clause(FactorGraph& g, Clause c, const SurveyCache* cache,
     // literal onto the slow re-walk path).
     v = std::min(v, 1.0 - 1e-9);
     maxd = std::max(maxd, std::abs(v - g.eta[e]));
-    eta_store(g, e, v);
+    g.eta[e] = v;
   }
   if (ops) *ops += static_cast<std::uint64_t>(k) * k;
   return maxd;
@@ -406,6 +399,7 @@ SpResult solve_serial(const Formula& f, const SpOptions& opts) {
     cache.neg.assign(f.num_lits, 1.0);
   }
   std::uint64_t work = 0;
+  std::vector<double> eta_prev;
 
   Hooks hooks;
   hooks.refresh = [&] {
@@ -417,8 +411,17 @@ SpResult solve_serial(const Formula& f, const SpOptions& opts) {
   hooks.sweep = [&] {
     double maxd = 0.0;
     const SurveyCache* cp = opts.cache_products ? &cache : nullptr;
+    // The cached solver sweeps against a pre-sweep snapshot (Jacobi): the
+    // cache already holds pre-sweep products, so the tiny-survivor re-walk
+    // must read the same image or the two paths would mix freshness. This
+    // makes the cached trajectory independent of clause visit order — the
+    // contract the GPU driver's cross-worker byte-identity relies on, and
+    // what keeps it bit-equal to this serial reference. The uncached
+    // reference stays classic in-place Gauss-Seidel (eta_prev empty).
+    if (opts.cache_products) eta_prev = g.eta;
+    const double* snap = opts.cache_products ? eta_prev.data() : nullptr;
     for (Clause c = 0; c < f.num_clauses(); ++c) {
-      maxd = std::max(maxd, update_clause(g, c, cp, &work));
+      maxd = std::max(maxd, update_clause(g, c, cp, &work, snap));
     }
     return maxd;
   };
@@ -450,22 +453,43 @@ SpResult solve_multicore(const Formula& f, cpu::ParallelRunner& runner,
   g.init_surveys(rng);
   std::uint64_t work = 0;
 
+  // Per-worker accumulators, reduced in worker-index order after each
+  // round. The former shared `maxd`/`work` variables were mutated straight
+  // from the round callback — a data race the moment a runner executes
+  // workers concurrently, and (worse for the model) a sync_op count that
+  // depended on which worker happened to observe the running maximum. Each
+  // worker now tracks its own running max and charges a sync only when that
+  // local max advances — the CAS it would actually issue against the shared
+  // cell — so the schedule and its modeled stats are deterministic.
+  const std::uint32_t workers = runner.config().workers;
+  std::vector<double> worker_maxd(workers, 0.0);
+  std::vector<std::uint64_t> worker_ops(workers, 0);
+  const auto drain_worker_ops = [&] {
+    for (std::uint64_t& o : worker_ops) {
+      work += o;
+      o = 0;
+    }
+  };
+
   Hooks hooks;
   hooks.refresh = [] {};
   hooks.sweep = [&] {
-    double maxd = 0.0;
+    std::fill(worker_maxd.begin(), worker_maxd.end(), 0.0);
     runner.round(f.num_clauses(), [&](cpu::WorkerCtx& ctx, std::uint64_t c) {
       std::uint64_t ops = 0;
       const double d =
           update_clause(g, static_cast<Clause>(c), nullptr, &ops);
-      // Shared-maximum reduction costs a synchronized update when changed.
-      if (d > maxd) {
-        maxd = d;
+      double& local = worker_maxd[ctx.worker()];
+      if (d > local) {
+        local = d;
         ctx.sync_op();
       }
       ctx.work(ops);
-      work += ops;
+      worker_ops[ctx.worker()] += ops;
     });
+    drain_worker_ops();
+    double maxd = 0.0;
+    for (const double d : worker_maxd) maxd = std::max(maxd, d);
     return maxd;
   };
   hooks.bias = [&](std::vector<double>& mag, std::vector<std::uint8_t>& val) {
@@ -474,10 +498,11 @@ SpResult solve_multicore(const Formula& f, cpu::ParallelRunner& runner,
       std::uint64_t ops = 0;
       const Bias b = literal_bias(g, static_cast<Lit>(i), &ops);
       ctx.work(ops);
-      work += ops;
+      worker_ops[ctx.worker()] += ops;
       mag[i] = b.magnitude;
       val[i] = b.value ? 1 : 0;
     });
+    drain_worker_ops();
   };
 
   SpResult res = run_schedule(g, opts, hooks, work, rng);
@@ -490,20 +515,20 @@ SpResult solve_multicore(const Formula& f, cpu::ParallelRunner& runner,
 SpResult solve_gpu(const Formula& f, gpu::Device& dev,
                    const SpOptions& opts) {
   Timer timer;
-  // Cross-clause eta reads are a deliberate benign race (see eta_load):
-  // record the intent so a clean sanitizer report documents it.
-  if (analysis::Sanitizer* s = dev.sanitizer()) {
-    s->note_intentional(
-        "sp.eta-stale-reads",
-        "cross-clause eta reads use relaxed atomics and tolerate stale "
-        "values; the survey iteration converges regardless");
-  }
+  // No sanitizer waiver here: the sweep reads cross-clause surveys through
+  // a pre-sweep snapshot (Jacobi — see update_clause in survey.hpp), so its
+  // only shared-state writes are each clause's own eta row, shadowed below
+  // for MorphSan's inter-block race check. SP is *checked*, not exempted.
   FactorGraph g(f);
   Rng rng(opts.seed);
   g.init_surveys(rng);
+  const bool cached = opts.cache_products;
   SurveyCache cache;
-  cache.pos.assign(f.num_lits, 1.0);
-  cache.neg.assign(f.num_lits, 1.0);
+  if (cached) {
+    cache.pos.assign(f.num_lits, 1.0);
+    cache.neg.assign(f.num_lits, 1.0);
+  }
+  std::vector<double> eta_prev;
   std::uint64_t work = 0;
 
   // Fixed kernel configuration: SP's graph size is roughly constant, so the
@@ -524,122 +549,149 @@ SpResult solve_gpu(const Formula& f, gpu::Device& dev,
   std::atomic<std::uint64_t> launch_ops{0};
   auto drain_ops = [&] { work += launch_ops.exchange(0); };
 
-  // WorklistMode::kSharded: the alive literals live in a sharded worklist,
-  // pseudo-partitioned by literal index and rebuilt host-side after every
-  // decimation step — so the refresh and bias kernels sweep only literals
-  // still alive (each block its own shards) instead of striding all of them
-  // and paying a step per tombstone. Iteration is non-consuming; the sweep
-  // kernel is per-clause and unchanged.
+  // WorklistMode::kSharded: the alive literals *and* the alive clauses live
+  // in sharded worklists, pseudo-partitioned by index and rebuilt host-side
+  // after every decimation step — so all three kernels (sweep, refresh,
+  // bias) sweep only work that is still alive, each block its own shards,
+  // instead of striding everything and paying a step per tombstone. Op
+  // charging follows ownership: which items a thread visits is a function
+  // of (block, shard map), never of host-thread interleaving. Iteration is
+  // non-consuming.
   const bool sharded =
       dev.config().worklist_mode == gpu::WorklistMode::kSharded;
-  std::optional<gpu::ShardedWorklist<Lit>> swl;
+  std::optional<gpu::ShardedWorklist<Lit>> lit_wl;
+  std::optional<gpu::ShardedWorklist<Clause>> clause_wl;
   if (sharded) {
     const std::size_t S = dev.config().resolved_worklist_shards();
-    swl.emplace(S, static_cast<std::size_t>(f.num_lits) / S + 2, &dev);
+    lit_wl.emplace(S, static_cast<std::size_t>(f.num_lits) / S + 2, &dev);
+    clause_wl.emplace(S, static_cast<std::size_t>(f.num_clauses()) / S + 2,
+                      &dev);
   }
-  const auto rebuild_lits = [&] {
-    if (!sharded) return;
-    swl->reset();
+  const auto seed_alive = [](auto& wl, std::uint32_t total, auto&& alive) {
+    wl.reset();
     gpu::ThreadCtx host;  // host-side fill; charges discarded
     std::uint32_t na = 0;
-    for (Lit i = 0; i < f.num_lits; ++i) na += g.lit_alive[i] ? 1 : 0;
+    for (std::uint32_t i = 0; i < total; ++i) na += alive(i) ? 1 : 0;
     std::uint32_t idx = 0;
-    for (Lit i = 0; i < f.num_lits; ++i) {
-      if (g.lit_alive[i]) {
-        (void)swl->push(host, swl->partition_shard(idx++, na), i);
-      }
+    for (std::uint32_t i = 0; i < total; ++i) {
+      if (alive(i)) (void)wl.push(host, wl.partition_shard(idx++, na), i);
     }
-    dev.note_counter("worklist.occupancy", static_cast<double>(swl->size()));
   };
-  rebuild_lits();
-  // Sharded sweep over the live literals a block owns (threads stride the
-  // shard contents). Stale tombstones (possible only mid-rebuild) charge
-  // one step, mirroring the strided kernels' dead branch.
-  const auto for_each_owned_lit = [&](gpu::ThreadCtx& ctx, auto&& body) {
-    const auto r = swl->owned_range(ctx.block(), lc.blocks);
+  const auto rebuild_worklists = [&] {
+    if (!sharded) return;
+    seed_alive(*lit_wl, f.num_lits,
+               [&](std::uint32_t i) { return g.lit_alive[i] != 0; });
+    seed_alive(*clause_wl, f.num_clauses(),
+               [&](std::uint32_t c) { return g.clause_alive[c] != 0; });
+    dev.note_counter("worklist.occupancy",
+                     static_cast<double>(lit_wl->size() + clause_wl->size()));
+  };
+  rebuild_worklists();
+  // Sweep over the live items a block owns (threads stride the shard
+  // contents). The charging rule is uniform across the sharded and strided
+  // paths: one step per visited item — tombstone or live — plus the
+  // algorithmic ops of live items, so sharded vs centralized modeled cycles
+  // differ only by the tombstones the worklist skips.
+  const auto for_each_owned = [&](auto& wl, gpu::ThreadCtx& ctx,
+                                  auto&& alive, auto&& body) {
+    const auto r = wl.owned_range(ctx.block(), lc.blocks);
     for (std::size_t s = r.lo; s < r.hi; ++s) {
-      const std::size_t sz = swl->shard_size(s);
+      const std::size_t sz = wl.shard_size(s);
       for (std::size_t x = ctx.thread_in_block(); x < sz;
            x += lc.threads_per_block) {
-        const Lit i = swl->item(s, x);
-        if (!g.lit_alive[i]) {
-          ctx.work(1);
-          continue;
-        }
+        const auto i = wl.item(s, x);
+        ctx.work(1);
+        if (!alive(i)) continue;  // stale tombstone (possible mid-rebuild)
         body(i);
       }
     }
   };
+  const auto lit_alive = [&](Lit i) { return g.lit_alive[i] != 0; };
+  const auto clause_alive = [&](Clause c) { return g.clause_alive[c] != 0; };
 
   Hooks hooks;
-  hooks.after_decimation = rebuild_lits;
+  hooks.after_decimation = rebuild_worklists;
   hooks.refresh = [&] {
+    if (!cached) return;
     dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
-      if (sharded) {
-        for_each_owned_lit(ctx, [&](Lit i) {
-          const std::uint64_t ops = refresh_cache_lit(g, i, cache);
-          ctx.work(ops);
-          launch_ops.fetch_add(ops, std::memory_order_relaxed);
-        });
-        return;
-      }
-      for (std::uint64_t i = ctx.tid(); i < f.num_lits; i += T) {
-        if (!g.lit_alive[i]) {
-          ctx.work(1);
-          continue;
-        }
-        const std::uint64_t ops =
-            refresh_cache_lit(g, static_cast<Lit>(i), cache);
+      const auto refresh = [&](Lit i) {
+        const std::uint64_t ops = refresh_cache_lit(g, i, cache);
         ctx.work(ops);
         launch_ops.fetch_add(ops, std::memory_order_relaxed);
-      }
-    });
-    drain_ops();
-  };
-  hooks.sweep = [&] {
-    double maxd = 0.0;
-    std::mutex mu;
-    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
-      double local = 0.0;
-      std::uint64_t ops = 0;
-      for (std::uint64_t c = ctx.tid(); c < f.num_clauses(); c += T) {
-        local = std::max(
-            local, update_clause(g, static_cast<Clause>(c), &cache, &ops));
-      }
-      ctx.work(ops);
-      launch_ops.fetch_add(ops, std::memory_order_relaxed);
-      // Block-level max reduction: only the block representative touches
-      // the global accumulator.
-      if (ctx.thread_in_block() == 0) ctx.atomic_op();
-      std::scoped_lock lock(mu);
-      maxd = std::max(maxd, local);
-    });
-    drain_ops();
-    return maxd;
-  };
-  hooks.bias = [&](std::vector<double>& mag, std::vector<std::uint8_t>& val) {
-    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      };
       if (sharded) {
-        for_each_owned_lit(ctx, [&](Lit i) {
-          ctx.work(1);
-          std::uint64_t ops = 0;
-          const Bias b = literal_bias(g, i, &ops);
-          ctx.work(ops);
-          launch_ops.fetch_add(ops, std::memory_order_relaxed);
-          mag[i] = b.magnitude;
-          val[i] = b.value ? 1 : 0;
-        });
+        for_each_owned(*lit_wl, ctx, lit_alive, refresh);
         return;
       }
       for (std::uint64_t i = ctx.tid(); i < f.num_lits; i += T) {
         ctx.work(1);
         if (!g.lit_alive[i]) continue;
+        refresh(static_cast<Lit>(i));
+      }
+    });
+    drain_ops();
+  };
+  hooks.sweep = [&] {
+    // Jacobi snapshot: every cross-clause survey read in this launch goes
+    // through the pre-sweep eta image, so values and op counts do not
+    // depend on the order blocks run clauses in. The host-side copy is
+    // simulation bookkeeping (the cache refresh models the real transfer).
+    eta_prev = g.eta;
+    // Per-block local maxima, folded in ascending block order after the
+    // launch — the deterministic replacement for a mutex-guarded global.
+    gpu::BlockReduce<double> max_delta(lc.blocks, 0.0);
+    const auto fold_max = [](double a, double b) { return std::max(a, b); };
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      double local = 0.0;
+      std::uint64_t ops = 0;
+      const auto update = [&](Clause c) {
+        // Shadow the eta-row write: the worklists must hand every alive
+        // clause to exactly one thread, and MorphSan verifies it (two
+        // blocks updating one clause would be an inter-block race finding).
+        if (analysis::Sanitizer* s = ctx.san()) {
+          s->on_access(ctx.block(),
+                       &g.eta[static_cast<std::size_t>(c) * g.k],
+                       g.k * sizeof(double),
+                       analysis::Sanitizer::Access::kWrite);
+        }
+        local = std::max(local, update_clause(g, c, cached ? &cache : nullptr,
+                                              &ops, eta_prev.data()));
+      };
+      if (sharded) {
+        for_each_owned(*clause_wl, ctx, clause_alive, update);
+      } else {
+        for (std::uint64_t c = ctx.tid(); c < f.num_clauses(); c += T) {
+          ctx.work(1);
+          if (!g.clause_alive[c]) continue;
+          update(static_cast<Clause>(c));
+        }
+      }
+      ctx.work(ops);
+      launch_ops.fetch_add(ops, std::memory_order_relaxed);
+      max_delta.combine(ctx, local, fold_max);
+      max_delta.charge(ctx);
+    });
+    drain_ops();
+    return max_delta.reduce(fold_max);
+  };
+  hooks.bias = [&](std::vector<double>& mag, std::vector<std::uint8_t>& val) {
+    dev.launch(lc, [&](gpu::ThreadCtx& ctx) {
+      const auto bias_of = [&](Lit i) {
         std::uint64_t ops = 0;
-        const Bias b = literal_bias(g, static_cast<Lit>(i), &ops);
+        const Bias b = literal_bias(g, i, &ops);
         ctx.work(ops);
         launch_ops.fetch_add(ops, std::memory_order_relaxed);
         mag[i] = b.magnitude;
         val[i] = b.value ? 1 : 0;
+      };
+      if (sharded) {
+        for_each_owned(*lit_wl, ctx, lit_alive, bias_of);
+        return;
+      }
+      for (std::uint64_t i = ctx.tid(); i < f.num_lits; i += T) {
+        ctx.work(1);
+        if (!g.lit_alive[i]) continue;
+        bias_of(static_cast<Lit>(i));
       }
     });
     drain_ops();

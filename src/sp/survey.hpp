@@ -70,8 +70,15 @@ std::uint64_t refresh_cache_lit(const FactorGraph& g, Lit i, SurveyCache& c);
 /// Updates the surveys of all alive edges of clause c in place. Returns the
 /// max |delta| over its edges; adds counted ops to *ops. `cache` may be
 /// null (the uncached variant walks the literal clause lists directly).
+///
+/// `eta_prev` (optional) is a pre-sweep snapshot of g.eta: when set, every
+/// cross-clause survey read goes through it (Jacobi iteration), which makes
+/// the sweep's values *and op counts* independent of the order clauses are
+/// visited in — the property the block-parallel GPU driver's cross-worker
+/// byte-identity rests on. Null keeps the classic in-place Gauss-Seidel
+/// reads (the serial uncached reference and the multicore baseline).
 double update_clause(FactorGraph& g, Clause c, const SurveyCache* cache,
-                     std::uint64_t* ops);
+                     std::uint64_t* ops, const double* eta_prev = nullptr);
 
 struct Bias {
   double magnitude = 0.0;
@@ -88,7 +95,10 @@ std::uint64_t walksat_residual(FactorGraph& g, const SpOptions& opts,
 
 // --- drivers ---
 
-/// Single-threaded reference implementation.
+/// Single-threaded reference implementation. With the product cache on it
+/// sweeps against a pre-sweep eta snapshot (Jacobi) — the same trajectory
+/// the GPU driver reproduces bit-for-bit; with the cache off it is the
+/// classic in-place (Gauss-Seidel) iteration.
 SpResult solve_serial(const Formula& f, const SpOptions& opts = {});
 
 /// Multicore baseline (Galois stand-in): same schedule, per-clause work

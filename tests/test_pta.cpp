@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <tuple>
 
 #include "pta/constraints.hpp"
 #include "pta/solve.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/trace.hpp"
 
 namespace morph::pta {
 namespace {
@@ -242,6 +246,77 @@ TEST(Gpu, BlockParallelExecutionReachesTheSameFixedPoint) {
   EXPECT_TRUE(equal_pts(ser, solve_gpu(cs, d_push, push)))
       << "push-based GPU deviates under host_workers=4";
 }
+
+// One GPU PTA run plus everything the determinism gate compares byte-for-
+// byte: the fixed point, the modeled stats, the device counters, and the
+// rendered telemetry trace.
+struct PtaRun {
+  PtsSets pts;
+  PtaStats st;
+  double dev_cycles = 0.0;
+  std::uint64_t total_work = 0;
+  std::string trace;
+};
+
+PtaRun run_pta(const ConstraintSet& cs, gpu::WorklistMode mode,
+               std::uint32_t workers, bool push) {
+  telemetry::TraceSink sink;
+  gpu::DeviceConfig cfg;
+  cfg.host_workers = workers;
+  cfg.worklist_mode = mode;
+  cfg.trace = &sink;
+  gpu::Device dev(cfg);
+  PtaOptions opts;
+  opts.push_based = push;
+  PtaRun out;
+  out.pts = solve_gpu(cs, dev, opts, &out.st);
+  out.dev_cycles = dev.stats().modeled_cycles;
+  out.total_work = dev.stats().total_work;
+  out.trace = telemetry::chrome_trace_json(sink.merged(), {});
+  return out;
+}
+
+void expect_identical(const PtaRun& a, const PtaRun& b) {
+  EXPECT_TRUE(equal_pts(a.pts, b.pts));
+  EXPECT_EQ(a.st.iterations, b.st.iterations);
+  EXPECT_EQ(a.st.edges_added, b.st.edges_added);
+  EXPECT_EQ(a.st.pts_total, b.st.pts_total);
+  EXPECT_EQ(a.st.counted_work, b.st.counted_work);
+  EXPECT_EQ(a.st.device_mallocs, b.st.device_mallocs);
+  EXPECT_EQ(a.st.modeled_cycles, b.st.modeled_cycles);  // bitwise
+  EXPECT_EQ(a.dev_cycles, b.dev_cycles);
+  EXPECT_EQ(a.total_work, b.total_work);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+// Every phase of the GPU driver now runs block-parallel under either
+// worklist mode, and both propagation variants must stay byte-identical
+// across host-worker counts: pending-buffer inserts with snapshot charging
+// plus host-ordered commits make the schedule irrelevant.
+class GpuDeterminism
+    : public ::testing::TestWithParam<std::tuple<gpu::WorklistMode, bool>> {};
+
+TEST_P(GpuDeterminism, ByteIdenticalAcrossHostWorkers) {
+  const auto [mode, push] = GetParam();
+  const ConstraintSet cs = synthetic_program(500, 700, 21);
+  const PtaRun one = run_pta(cs, mode, 1, push);
+  const PtaRun four = run_pta(cs, mode, 4, push);
+  expect_identical(one, four);
+  EXPECT_TRUE(equal_pts(one.pts, solve_serial(cs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndVariants, GpuDeterminism,
+    ::testing::Combine(::testing::Values(gpu::WorklistMode::kCentralized,
+                                         gpu::WorklistMode::kSharded),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ==
+                                 gpu::WorklistMode::kSharded
+                             ? "sharded"
+                             : "centralized") +
+             (std::get<1>(info.param) ? "Push" : "Pull");
+    });
 
 TEST(Gpu, EdgeCountGrowsMonotonically) {
   const ConstraintSet cs = synthetic_program(400, 600, 13);

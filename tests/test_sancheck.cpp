@@ -486,9 +486,10 @@ TEST(CleanApps, PtaSolveCleanAndStatsIdentical) {
   EXPECT_TRUE(pta::equal_pts(r_plain, r_san));
   EXPECT_EQ(d_plain.stats().modeled_cycles, d_san.stats().modeled_cycles);
   EXPECT_EQ(d_plain.stats().device_mallocs, d_san.stats().device_mallocs);
-  // The pull-model staleness is documented, not silenced.
-  ASSERT_FALSE(san.intentional_notes().empty());
-  EXPECT_EQ(san.intentional_notes().front().first, "pta.pull-stale-reads");
+  // The former "pta.pull-stale-reads" waiver is gone for good: propagation
+  // reads a frozen round-start image and commits between launches, so PTA
+  // registers no intentional-race notes at all.
+  EXPECT_TRUE(san.intentional_notes().empty());
 }
 
 TEST(CleanApps, MstBoruvkaCleanAndStatsIdentical) {
@@ -509,6 +510,12 @@ TEST(CleanApps, MstBoruvkaCleanAndStatsIdentical) {
   EXPECT_EQ(r_plain.total_weight, r_san.total_weight);
   EXPECT_EQ(r_plain.tree_edges, r_san.tree_edges);
   EXPECT_EQ(d_plain.stats().modeled_cycles, d_san.stats().modeled_cycles);
+  // The one intentional-race note still load-bearing anywhere: Boruvka's
+  // many-writer pointer-jumping convergence flag really is a one-way race
+  // (only ever set to true within a launch, read after it returns), so the
+  // waiver — unlike SP's and PTA's retired ones — must stay on record.
+  ASSERT_FALSE(san.intentional_notes().empty());
+  EXPECT_EQ(san.intentional_notes().front().first, "mst.jump-converged-flag");
 }
 
 TEST(CleanApps, SpSurveyCleanAndStatsIdentical) {

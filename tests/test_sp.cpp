@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <tuple>
 
 #include "sp/factor_graph.hpp"
 #include "sp/survey.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/trace.hpp"
 
 namespace morph::sp {
 namespace {
@@ -279,11 +283,10 @@ TEST(Solve, GpuDriverMatchesSerialTrajectory) {
 }
 
 TEST(Solve, GpuDriverSolvesUnderBlockParallelExecution) {
-  // Block-parallel host execution (the standard fast path). Cross-clause
-  // eta reads go through relaxed atomics, so the run is race-free, but the
-  // Gauss-Seidel sweep sees different staleness per interleaving — the
-  // trajectory is not comparable to the serial driver. Assert the solver
-  // still works on an easy instance (ratio 3.0).
+  // Block-parallel host execution (the standard fast path). The sweep reads
+  // cross-clause surveys through a pre-sweep snapshot (Jacobi), so the run
+  // is race-free by access pattern and its trajectory matches the serial
+  // cached reference exactly, at any worker count.
   const std::uint32_t n = 600;
   auto f = random_ksat(n, 3 * n, 3, 14);
   SpOptions opts;
@@ -293,6 +296,109 @@ TEST(Solve, GpuDriverSolvesUnderBlockParallelExecution) {
   ASSERT_TRUE(r.solved) << "ratio 3.0 should be reliably solvable";
   EXPECT_TRUE(check_assignment(f, r.assignment));
   EXPECT_GT(r.modeled_cycles, 0.0);
+  const SpResult rs = solve_serial(f, opts);
+  EXPECT_EQ(rs.sweeps, r.sweeps);
+  EXPECT_EQ(rs.fixed_by_sp, r.fixed_by_sp);
+  EXPECT_EQ(rs.assignment, r.assignment);
+}
+
+// --- cross-worker determinism: the byte-identity contract for fig9 ---
+
+struct GpuRun {
+  SpResult res;
+  double dev_cycles = 0.0;
+  std::uint64_t total_work = 0;
+  std::string trace;  ///< Chrome-trace JSON of every simulated launch
+};
+
+GpuRun run_gpu(const Formula& f, gpu::WorklistMode mode,
+               std::uint32_t host_workers, bool cached) {
+  telemetry::TraceSink sink;
+  gpu::DeviceConfig cfg;
+  cfg.host_workers = host_workers;
+  cfg.worklist_mode = mode;
+  cfg.trace = &sink;
+  gpu::Device dev(cfg);
+  SpOptions opts;
+  opts.seed = 17;
+  opts.max_sweeps = 25;
+  opts.max_phases = 3;
+  opts.cache_products = cached;
+  opts.walksat_flips = 200;
+  opts.walksat_auto_budget = false;
+  GpuRun out;
+  out.res = solve_gpu(f, dev, opts);
+  out.dev_cycles = dev.stats().modeled_cycles;
+  out.total_work = dev.stats().total_work;
+  out.trace = telemetry::chrome_trace_json(sink.merged(), {});
+  return out;
+}
+
+void expect_identical(const GpuRun& a, const GpuRun& b) {
+  EXPECT_EQ(a.res.solved, b.res.solved);
+  EXPECT_EQ(a.res.sweeps, b.res.sweeps);
+  EXPECT_EQ(a.res.phases, b.res.phases);
+  EXPECT_EQ(a.res.fixed_by_sp, b.res.fixed_by_sp);
+  EXPECT_EQ(a.res.walksat_flips_used, b.res.walksat_flips_used);
+  EXPECT_EQ(a.res.counted_work, b.res.counted_work);
+  EXPECT_EQ(a.res.assignment, b.res.assignment);
+  EXPECT_EQ(a.res.modeled_cycles, b.res.modeled_cycles);  // bitwise
+  EXPECT_EQ(a.dev_cycles, b.dev_cycles);
+  EXPECT_EQ(a.total_work, b.total_work);
+  EXPECT_EQ(a.trace, b.trace);  // byte-identical telemetry
+}
+
+class GpuDeterminism
+    : public ::testing::TestWithParam<std::tuple<gpu::WorklistMode, bool>> {};
+
+TEST_P(GpuDeterminism, ByteIdenticalAcrossHostWorkers) {
+  // The determinism contract behind scripts/tier1.sh's fig9 gate: answers,
+  // modeled stats, counted work, and the full telemetry trace are
+  // byte-identical for 1 vs 8 host workers — snapshot (Jacobi) sweeps,
+  // block-ordered max reduction, ownership-partitioned worklists.
+  const auto [mode, cached] = GetParam();
+  const std::uint32_t n = 500;
+  auto f = random_ksat(n, static_cast<std::uint32_t>(3.8 * n), 3, 19);
+  const GpuRun one = run_gpu(f, mode, 1, cached);
+  const GpuRun eight = run_gpu(f, mode, 8, cached);
+  expect_identical(one, eight);
+  EXPECT_GT(one.res.sweeps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndCache, GpuDeterminism,
+    ::testing::Combine(::testing::Values(gpu::WorklistMode::kCentralized,
+                                         gpu::WorklistMode::kSharded),
+                       ::testing::Values(true, false)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ==
+                                 gpu::WorklistMode::kSharded
+                             ? "sharded"
+                             : "centralized") +
+             (std::get<1>(info.param) ? "Cached" : "Uncached");
+    });
+
+TEST(Solve, MulticoreScheduleIsDeterministic) {
+  // Repeated runs must reproduce the schedule bit-for-bit: per-worker
+  // max/ops accumulators reduced in worker-index order replaced the shared
+  // running-max whose sync_op count depended on observation order.
+  const std::uint32_t n = 500;
+  auto f = random_ksat(n, static_cast<std::uint32_t>(3.8 * n), 3, 23);
+  SpOptions opts;
+  opts.seed = 29;
+  opts.max_sweeps = 25;
+  opts.max_phases = 3;
+  opts.walksat_flips = 200;
+  opts.walksat_auto_budget = false;
+  cpu::ParallelRunner r1, r2;
+  const SpResult a = solve_multicore(f, r1, opts);
+  const SpResult b = solve_multicore(f, r2, opts);
+  EXPECT_EQ(a.sweeps, b.sweeps);
+  EXPECT_EQ(a.counted_work, b.counted_work);
+  EXPECT_EQ(a.modeled_cycles, b.modeled_cycles);  // bitwise
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(r1.stats().sync_ops, r2.stats().sync_ops);
+  EXPECT_EQ(r1.stats().modeled_cycles, r2.stats().modeled_cycles);
 }
 
 TEST(Solve, MulticoreSolvesAndChargesSync) {
