@@ -34,7 +34,18 @@ for spec in "${benches[@]}"; do
   set -- $spec
   name="$1"; shift
   echo "== $name $* =="
-  "$BUILD/bench/$name" "$@" --json="$TMP/$name.json" > /dev/null
+  # Fail loudly, naming the bench: a partial snapshot silently narrows the
+  # perf gate, so a bench that dies must kill the whole run.
+  status=0
+  "$BUILD/bench/$name" "$@" --json="$TMP/$name.json" > /dev/null || status=$?
+  if [[ "$status" -ne 0 ]]; then
+    echo "ERROR: bench '$name' exited with status $status; no snapshot written" >&2
+    exit "$status"
+  fi
+  if [[ ! -s "$TMP/$name.json" ]]; then
+    echo "ERROR: bench '$name' produced no JSON report; no snapshot written" >&2
+    exit 1
+  fi
   reports+=("$TMP/$name.json")
 done
 

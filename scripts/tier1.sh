@@ -101,6 +101,45 @@ if "$BUILD"/bench/fig11_mst --sanitize=bogus > /dev/null 2>&1; then
   exit 1
 fi
 
+echo "== tier 1: job server (daemon smoke + serving determinism) =="
+# The serving contract (docs/SERVER.md): for a fixed arrival order, per-job
+# results and modeled serving stats are byte-identical across pool sizes and
+# --host-workers, and identical to running the same admitted jobs one-shot.
+SERVE_SOCK="$SMOKE/served.sock"
+"$BUILD"/tools/morph-served --socket="$SERVE_SOCK" --pool=2 > "$SMOKE/served.log" 2>&1 &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SMOKE/served.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "listening on" "$SMOKE/served.log" || {
+  echo "ERROR: morph-served failed to start" >&2; cat "$SMOKE/served.log" >&2
+  exit 1
+}
+# Mixed batch through the daemon (the client sends shutdown when done).
+"$BUILD"/bench/serve_loadtest --connect="$SERVE_SOCK" --jobs=48 --clients=3 \
+    --shutdown --jobs-json="$SMOKE/lt_daemon.json" > /dev/null
+wait "$SERVED_PID"
+# One-shot equivalence: same arrival order, no server — byte-identical.
+"$BUILD"/bench/serve_loadtest --oneshot --jobs=48 --clients=3 \
+    --jobs-json="$SMOKE/lt_oneshot.json" > /dev/null
+cmp "$SMOKE/lt_daemon.json" "$SMOKE/lt_oneshot.json"
+# Replay at two pool sizes (embedded server): per-job stats byte-identical.
+"$BUILD"/bench/serve_loadtest --jobs=64 --clients=4 --pool=1 \
+    --socket="$SMOKE/lt1.sock" --jobs-json="$SMOKE/lt_p1.json" > /dev/null
+"$BUILD"/bench/serve_loadtest --jobs=64 --clients=4 --pool=3 \
+    --socket="$SMOKE/lt3.sock" --jobs-json="$SMOKE/lt_p3.json" > /dev/null
+cmp "$SMOKE/lt_p1.json" "$SMOKE/lt_p3.json"
+# And across host workers, including the modeled serving report.
+"$BUILD"/bench/serve_loadtest --jobs=64 --clients=4 --pool=2 --host-workers=4 \
+    --socket="$SMOKE/lt4.sock" --jobs-json="$SMOKE/lt_hw4.json" \
+    --json="$SMOKE/lt_hw4_rep.json" > /dev/null
+"$BUILD"/bench/serve_loadtest --jobs=64 --clients=4 --pool=2 --host-workers=1 \
+    --socket="$SMOKE/lt1b.sock" --jobs-json="$SMOKE/lt_hw1.json" \
+    --json="$SMOKE/lt_hw1_rep.json" > /dev/null
+cmp "$SMOKE/lt_hw1.json" "$SMOKE/lt_hw4.json"
+"$BUILD"/tools/morph-report diff "$SMOKE/lt_hw1_rep.json" "$SMOKE/lt_hw4_rep.json"
+
 echo "== tier 1: perf (bench snapshot vs committed baseline) =="
 # Full CI-sized bench sweep diffed against the committed snapshot. Modeled
 # metrics are deterministic, so any drift is a real change: the default gate
@@ -123,7 +162,7 @@ fi
 if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread - -o /dev/null 2>/dev/null; then
   echo "== tier 1: TSan build + ctest -L 'gpu|core|dmr' =="
   cmake -B "$TSAN_BUILD" -S . -DMORPH_TSAN=ON
-  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr test_resilience test_sancheck test_sp test_pta
+  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr test_resilience test_sancheck test_sp test_pta test_serve
   ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" -L 'gpu|core|dmr'
 else
   echo "== tier 1: libtsan not available; skipping TSan pass =="

@@ -1,0 +1,65 @@
+// Client side of the morph job server protocol.
+//
+// The socket is nonblocking and every send pumps the connection both ways:
+// outbound bytes drain as the kernel accepts them while inbound result
+// frames are decoded into an ordered inbox. That way a client can keep
+// submitting while the server streams results back — with a blocking socket
+// both sides could fill their send buffers mid-burst and deadlock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "support/status.hpp"
+#include "telemetry/json.hpp"
+
+namespace morph::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and performs the hello handshake (verifies the protocol
+  /// version). kIoError / kBadRequest on failure.
+  Status connect(const std::string& socket_path);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Queues a submit frame and pumps. Results arriving meanwhile land in
+  /// the inbox for next_message(). `arrival >= 0` stamps the frame with a
+  /// global arrival sequence number: the server admits stamped frames in
+  /// strictly increasing arrival order across ALL connections, which is
+  /// what makes a multi-connection workload replayable (docs/SERVER.md).
+  Status submit(const JobRequest& req, std::int64_t arrival = -1);
+  Status send_flush(std::int64_t arrival = -1);
+  Status send_stats();
+  Status send_shutdown();
+
+  /// Next server message (result / reject / error / stats / bye), in arrival
+  /// order. Blocks until one is available; kIoError once the connection is
+  /// gone and the inbox is empty.
+  Status next_message(telemetry::Json* out);
+
+  /// Messages already decoded and waiting.
+  std::size_t inbox_size() const { return inbox_.size(); }
+
+ private:
+  Status send_message(const telemetry::Json& msg);
+  /// Drains writable outbound bytes and readable inbound frames.
+  /// `wait_readable` blocks until at least one inbound frame (or error).
+  Status pump(bool wait_readable);
+
+  int fd_ = -1;
+  std::string outbuf_;
+  FrameDecoder decoder_;
+  std::deque<telemetry::Json> inbox_;
+  bool peer_closed_ = false;
+};
+
+}  // namespace morph::serve

@@ -1,0 +1,38 @@
+// Job execution for the morph job server.
+//
+// Each job runs on a freshly constructed gpu::Device configured from the
+// server's base DeviceConfig plus the job's own isolation state: its own
+// TraceSink (when requested), its own parsed fault campaign, and its own
+// app-level invariant gate. This is the pool-isolation contract: a job that
+// faults, exhausts its recovery ladder, or fails validation produces a typed
+// morph::Status outcome and leaves nothing behind — no shared device state,
+// no shared worklists, no shared injector counters — so concurrent jobs on
+// the same pool are byte-identical to solo runs.
+//
+// Results and modeled stats are a pure function of (JobSpec, DeviceConfig):
+// inputs are generated from the spec's seed and the simulator's stats are
+// bit-identical for any host_workers value, which is what lets the serving
+// layer promise byte-identical replays across pool sizes.
+#pragma once
+
+#include "gpu/config.hpp"
+#include "serve/job.hpp"
+
+namespace morph::serve {
+
+/// Executes one job to completion (or typed failure). Never throws: fault
+/// exhaustion, invariant violations, and bad fault specs all come back as
+/// JobOutcome::status.
+JobOutcome run_job(const JobRequest& req, const gpu::DeviceConfig& base);
+
+/// Deterministic a-priori cost estimate in modeled cycles, used by the
+/// scheduler for admission control and small-job batching. Intentionally
+/// coarse (a real admission controller cannot know true cost either); only
+/// relative magnitude matters.
+double estimate_job_cycles(const JobSpec& spec);
+
+/// Effective secondary size: pta constraints (default 1.3x vars) and mst
+/// undirected edges (default 2x nodes).
+std::uint64_t resolved_size2(const JobSpec& spec);
+
+}  // namespace morph::serve

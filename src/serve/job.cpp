@@ -1,0 +1,198 @@
+#include "serve/job.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace morph::serve {
+
+using telemetry::Json;
+
+const char* job_kind_name(JobKind k) {
+  switch (k) {
+    case JobKind::kDmr: return "dmr";
+    case JobKind::kSp: return "sp";
+    case JobKind::kPta: return "pta";
+    case JobKind::kMst: return "mst";
+  }
+  return "unknown";
+}
+
+bool parse_job_kind(const std::string& s, JobKind* out) {
+  if (s == "dmr") {
+    *out = JobKind::kDmr;
+  } else if (s == "sp") {
+    *out = JobKind::kSp;
+  } else if (s == "pta") {
+    *out = JobKind::kPta;
+  } else if (s == "mst") {
+    *out = JobKind::kMst;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string JobSpec::signature() const {
+  std::ostringstream os;
+  os << job_kind_name(kind) << "/size=" << size;
+  if (size2 != 0) os << "/size2=" << size2;
+  if (kind == JobKind::kSp) {
+    os << "/k=" << k << "/sweeps=" << sweeps << "/phases=" << phases;
+  }
+  os << "/seed=" << seed;
+  if (validate) os << "/validate";
+  return os.str();
+}
+
+Json JobSpec::to_json() const {
+  Json o = Json::object();
+  o.set("size", size);
+  if (size2 != 0) o.set("size2", size2);
+  if (kind == JobKind::kSp) {
+    o.set("k", static_cast<std::int64_t>(k));
+    o.set("sweeps", static_cast<std::int64_t>(sweeps));
+    o.set("phases", static_cast<std::int64_t>(phases));
+  }
+  o.set("seed", seed);
+  if (validate) o.set("validate", true);
+  return o;
+}
+
+namespace {
+
+Status bad(const std::string& what) {
+  return Status(StatusCode::kBadRequest, what);
+}
+
+Status take_u64(const Json& doc, const std::string& key, std::uint64_t dflt,
+                std::uint64_t* out) {
+  const Json* v = doc.find(key);
+  if (v == nullptr) {
+    *out = dflt;
+    return Status::Ok();
+  }
+  if (!v->is_number() || v->as_double() < 0) {
+    return bad("params." + key + " must be a non-negative integer");
+  }
+  *out = static_cast<std::uint64_t>(v->as_int());
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status JobSpec::from_json(const Json& doc, JobKind kind_in, JobSpec* out) {
+  if (!doc.is_object()) return bad("params must be an object");
+  *out = JobSpec{};
+  out->kind = kind_in;
+  static const char* const kKnown[] = {"size",   "size2",  "k",       "sweeps",
+                                       "phases", "seed",   "validate"};
+  for (const auto& [key, value] : doc.items()) {
+    (void)value;
+    bool known = false;
+    for (const char* kk : kKnown) known = known || key == kk;
+    if (!known) return bad("unknown params key \"" + key + "\"");
+  }
+  Status s;
+  if (!(s = take_u64(doc, "size", out->size, &out->size)).ok()) return s;
+  if (out->size == 0) return bad("params.size must be positive");
+  if (!(s = take_u64(doc, "size2", 0, &out->size2)).ok()) return s;
+  std::uint64_t v = 0;
+  if (!(s = take_u64(doc, "k", out->k, &v)).ok()) return s;
+  if (kind_in == JobKind::kSp && (v < 3 || v > 6)) {
+    return bad("params.k must be in 3..6");
+  }
+  out->k = static_cast<std::uint32_t>(v);
+  if (!(s = take_u64(doc, "sweeps", out->sweeps, &v)).ok()) return s;
+  out->sweeps = static_cast<std::uint32_t>(v);
+  if (!(s = take_u64(doc, "phases", out->phases, &v)).ok()) return s;
+  out->phases = static_cast<std::uint32_t>(v);
+  if (!(s = take_u64(doc, "seed", out->seed, &out->seed)).ok()) return s;
+  if (const Json* b = doc.find("validate")) {
+    if (b->type() != Json::Type::kBool) {
+      return bad("params.validate must be a boolean");
+    }
+    out->validate = b->as_bool();
+  }
+  return Status::Ok();
+}
+
+Json JobRequest::to_json() const {
+  Json o = Json::object();
+  o.set("type", "submit");
+  o.set("id", id);
+  o.set("kind", job_kind_name(spec.kind));
+  o.set("priority", static_cast<std::int64_t>(priority));
+  o.set("params", spec.to_json());
+  if (!faults.empty()) {
+    o.set("faults", faults);
+    o.set("fault_seed", fault_seed);
+  }
+  if (trace) o.set("trace", true);
+  return o;
+}
+
+Status JobRequest::from_json(const Json& doc, JobRequest* out) {
+  if (!doc.is_object()) return bad("submit message must be an object");
+  *out = JobRequest{};
+  const Json* id = doc.find("id");
+  if (id == nullptr || !id->is_number()) {
+    return bad("submit.id must be a number");
+  }
+  out->id = static_cast<std::uint64_t>(id->as_int());
+  const Json* kind = doc.find("kind");
+  if (kind == nullptr || !kind->is_string() ||
+      !parse_job_kind(kind->as_string(), &out->spec.kind)) {
+    return bad("submit.kind must be one of dmr, sp, pta, mst");
+  }
+  if (const Json* p = doc.find("priority")) {
+    if (!p->is_number() || p->as_double() < 0 ||
+        p->as_int() > static_cast<std::int64_t>(kMaxPriority)) {
+      return bad("submit.priority must be in 0..7");
+    }
+    out->priority = static_cast<std::uint32_t>(p->as_int());
+  }
+  const Json* params = doc.find("params");
+  const Json empty = Json::object();
+  Status s = JobSpec::from_json(params != nullptr ? *params : empty,
+                                out->spec.kind, &out->spec);
+  if (!s.ok()) return s;
+  if (const Json* f = doc.find("faults")) {
+    if (!f->is_string()) return bad("submit.faults must be a string");
+    out->faults = f->as_string();
+  }
+  std::uint64_t fs = 1;
+  if (!(s = take_u64(doc, "fault_seed", 1, &fs)).ok()) return s;
+  out->fault_seed = fs;
+  if (const Json* t = doc.find("trace")) {
+    if (t->type() != Json::Type::kBool) {
+      return bad("submit.trace must be a boolean");
+    }
+    out->trace = t->as_bool();
+  }
+  return Status::Ok();
+}
+
+Json JobExecStats::to_json() const {
+  Json o = Json::object();
+  o.set("modeled_cycles", modeled_cycles);
+  o.set("launches", launches);
+  o.set("barriers", barriers);
+  o.set("total_work", total_work);
+  o.set("warp_steps", warp_steps);
+  o.set("atomics", atomics);
+  o.set("global_accesses", global_accesses);
+  o.set("device_mallocs", device_mallocs);
+  o.set("reallocs", reallocs);
+  o.set("bytes_allocated", bytes_allocated);
+  o.set("bytes_copied", bytes_copied);
+  o.set("wl_local_ops", wl_local_ops);
+  o.set("wl_contended_ops", wl_contended_ops);
+  o.set("wl_steals", wl_steals);
+  o.set("wl_spills", wl_spills);
+  o.set("faults_injected", faults_injected);
+  o.set("faults_recovered", faults_recovered);
+  return o;
+}
+
+}  // namespace morph::serve

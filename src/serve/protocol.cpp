@@ -1,0 +1,166 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace morph::serve {
+
+using telemetry::Json;
+
+namespace {
+
+Status io_error(const std::string& what) {
+  return Status(StatusCode::kIoError, what + ": " + std::strerror(errno));
+}
+
+Status write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished peer must surface as kIoError, not SIGPIPE.
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return io_error("write");
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status read_all(int fd, char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::read(fd, data, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return io_error("read");
+    }
+    if (r == 0) return Status(StatusCode::kIoError, "connection closed");
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return Status::Ok();
+}
+
+void put_u32be(std::uint32_t v, char out[4]) {
+  out[0] = static_cast<char>(v >> 24);
+  out[1] = static_cast<char>(v >> 16);
+  out[2] = static_cast<char>(v >> 8);
+  out[3] = static_cast<char>(v);
+}
+
+std::uint32_t get_u32be(const char in[4]) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[3]));
+}
+
+Status parse_payload(const std::string& text, Json* out) {
+  try {
+    *out = Json::parse(text);
+  } catch (const CheckError& e) {
+    return Status(StatusCode::kBadRequest,
+                  std::string("malformed frame payload: ") + e.what());
+  }
+  if (!out->is_object()) {
+    return Status(StatusCode::kBadRequest, "frame payload must be an object");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string encode_frame(const Json& msg) {
+  const std::string payload = msg.dump();
+  MORPH_CHECK_MSG(payload.size() <= kMaxFrameBytes, "frame too large");
+  std::string out;
+  out.resize(4);
+  put_u32be(static_cast<std::uint32_t>(payload.size()), out.data());
+  out += payload;
+  return out;
+}
+
+Status write_frame(int fd, const Json& msg) {
+  const std::string frame = encode_frame(msg);
+  return write_all(fd, frame.data(), frame.size());
+}
+
+Status read_frame(int fd, Json* out) {
+  char hdr[4];
+  Status s = read_all(fd, hdr, 4);
+  if (!s.ok()) return s;
+  const std::uint32_t len = get_u32be(hdr);
+  if (len > kMaxFrameBytes) {
+    return Status(StatusCode::kBadRequest, "frame length exceeds limit");
+  }
+  std::string payload(len, '\0');
+  if (!(s = read_all(fd, payload.data(), len)).ok()) return s;
+  return parse_payload(payload, out);
+}
+
+Status FrameDecoder::poll(Json* out, bool* have) {
+  *have = false;
+  if (buf_.size() < 4) return Status::Ok();
+  const std::uint32_t len = get_u32be(buf_.data());
+  if (len > kMaxFrameBytes) {
+    return Status(StatusCode::kBadRequest, "frame length exceeds limit");
+  }
+  if (buf_.size() < 4 + static_cast<std::size_t>(len)) return Status::Ok();
+  const Status s = parse_payload(buf_.substr(4, len), out);
+  buf_.erase(0, 4 + static_cast<std::size_t>(len));
+  if (s.ok()) *have = true;
+  return s;
+}
+
+Status listen_unix(const std::string& path, int* fd_out) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status(StatusCode::kIoError, "socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return io_error("socket");
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s = io_error("bind " + path);
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status s = io_error("listen " + path);
+    ::close(fd);
+    return s;
+  }
+  *fd_out = fd;
+  return Status::Ok();
+}
+
+Status connect_unix(const std::string& path, int* fd_out) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status(StatusCode::kIoError, "socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return io_error("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s = io_error("connect " + path);
+    ::close(fd);
+    return s;
+  }
+  *fd_out = fd;
+  return Status::Ok();
+}
+
+}  // namespace morph::serve

@@ -1,0 +1,214 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace morph::serve {
+
+Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) {
+  MORPH_CHECK(cfg_.pool > 0);
+  MORPH_CHECK(cfg_.batch_max > 0);
+  MORPH_CHECK(cfg_.drain_rate >= 0.0);
+  slot_ready_.assign(cfg_.pool, 0.0);
+}
+
+void Scheduler::seal(JobKind kind, std::uint32_t priority, OpenBatch&& open) {
+  (void)kind;
+  SealedBatch b;
+  b.id = next_batch_id_++;
+  b.priority = priority;
+  b.seal_seq = next_seq_ == 0 ? 0 : next_seq_ - 1;
+  b.seal_at = last_at_;
+  b.jobs = std::move(open.jobs);
+  pending_.emplace(b.id, PendingBatch{b, {}, false});
+  runnable_.push_back(std::move(b));
+}
+
+void Scheduler::seal_lingering() {
+  // Admission events are the linger clock: an open batch that survived
+  // batch_linger arrivals without filling up seals now. Map order keeps the
+  // sweep deterministic.
+  const std::uint64_t now = next_seq_ == 0 ? 0 : next_seq_ - 1;
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (now - it->second.first_seq >= cfg_.batch_linger) {
+      OpenBatch ob = std::move(it->second);
+      const auto key = it->first;
+      it = open_.erase(it);
+      seal(key.second, key.first, std::move(ob));
+    } else {
+      ++it;
+    }
+  }
+}
+
+Scheduler::Submitted Scheduler::submit(JobKind kind, std::uint32_t priority,
+                                       double est_cycles, double at_cycles) {
+  MORPH_CHECK(priority <= kMaxPriority);
+  MORPH_CHECK(est_cycles >= 0.0);
+
+  // Virtual arrival time: declared (clamped monotone) or default-gap.
+  double at;
+  if (at_cycles >= 0.0) {
+    at = std::max(at_cycles, last_at_);
+  } else if (saw_arrival_) {
+    at = last_at_ + cfg_.default_gap_cycles;
+  } else {
+    at = 0.0;
+  }
+  bucket_ = std::max(0.0, bucket_ - (at - last_at_) * cfg_.drain_rate);
+  last_at_ = at;
+  saw_arrival_ = true;
+
+  Submitted out;
+  out.seq = next_seq_++;
+  out.arrival_cycles = at;
+
+  if (cfg_.max_job_cycles > 0.0 && est_cycles > cfg_.max_job_cycles) {
+    std::ostringstream os;
+    os << "estimated cost " << est_cycles << " cycles exceeds the per-job cap "
+       << cfg_.max_job_cycles;
+    out.reject = Status(StatusCode::kAdmissionRejected, os.str());
+    ++rejected_;
+    seal_lingering();
+    return out;
+  }
+  if (bucket_ + est_cycles > cfg_.queue_cap_cycles) {
+    std::ostringstream os;
+    os << "queue backlog " << bucket_ << " + " << est_cycles
+       << " cycles exceeds the admission cap " << cfg_.queue_cap_cycles;
+    out.reject = Status(StatusCode::kAdmissionRejected, os.str());
+    ++rejected_;
+    seal_lingering();
+    return out;
+  }
+
+  out.accepted = true;
+  bucket_ += est_cycles;
+  ++admitted_;
+  jobs_.emplace(out.seq, JobEntry{kind, priority, est_cycles, at});
+
+  if (est_cycles <= cfg_.small_job_cycles) {
+    const auto key = std::make_pair(priority, kind);
+    auto [it, fresh] = open_.try_emplace(key);
+    if (fresh) it->second.first_seq = out.seq;
+    it->second.jobs.push_back(out.seq);
+    if (it->second.jobs.size() >= cfg_.batch_max) {
+      OpenBatch ob = std::move(it->second);
+      open_.erase(it);
+      seal(kind, priority, std::move(ob));
+    }
+  } else {
+    OpenBatch singleton;
+    singleton.first_seq = out.seq;
+    singleton.jobs.push_back(out.seq);
+    seal(kind, priority, std::move(singleton));
+  }
+
+  seal_lingering();
+  return out;
+}
+
+void Scheduler::flush() {
+  for (auto it = open_.begin(); it != open_.end();) {
+    OpenBatch ob = std::move(it->second);
+    const auto key = it->first;
+    it = open_.erase(it);
+    seal(key.second, key.first, std::move(ob));
+  }
+  flush_watermark_ = next_batch_id_;
+}
+
+std::vector<SealedBatch> Scheduler::take_runnable() {
+  std::vector<SealedBatch> out;
+  out.swap(runnable_);
+  return out;
+}
+
+void Scheduler::record_measured(std::uint64_t batch_id,
+                                const std::vector<double>& job_cycles) {
+  auto it = pending_.find(batch_id);
+  MORPH_CHECK_MSG(it != pending_.end(),
+                  "record_measured: unknown batch " << batch_id);
+  MORPH_CHECK_MSG(job_cycles.size() == it->second.sealed.jobs.size(),
+                  "record_measured: batch " << batch_id << " expects "
+                                            << it->second.sealed.jobs.size()
+                                            << " jobs");
+  it->second.measured = job_cycles;
+  it->second.has_measured = true;
+}
+
+std::vector<JobPlacement> Scheduler::advance() {
+  std::vector<JobPlacement> out;
+  while (!pending_.empty()) {
+    // Earliest-free slot (ties: lowest index).
+    std::uint32_t slot = 0;
+    for (std::uint32_t s = 1; s < slot_ready_.size(); ++s) {
+      if (slot_ready_[s] < slot_ready_[slot]) slot = s;
+    }
+    double t = slot_ready_[slot];
+
+    // Batches runnable at t; if none, the dispatch waits for the earliest
+    // seal (arrivals only move virtual time forward).
+    double min_seal = std::numeric_limits<double>::infinity();
+    bool any_at_t = false;
+    for (const auto& [id, pb] : pending_) {
+      min_seal = std::min(min_seal, pb.sealed.seal_at);
+      any_at_t = any_at_t || pb.sealed.seal_at <= t;
+    }
+    if (!any_at_t) t = min_seal;
+
+    // A dispatch at time t is only final if no future arrival can still
+    // seal a competing batch at or before t. Future arrivals land at
+    // >= latest_arrival(), so t strictly before it is safe; otherwise the
+    // whole pending set must be inside the flushed epoch.
+    if (t >= last_at_ && pending_.rbegin()->first >= flush_watermark_) {
+      break;
+    }
+
+    // Best (priority, seal order) batch available at t.
+    const PendingBatch* best = nullptr;
+    for (const auto& [id, pb] : pending_) {
+      (void)id;
+      if (pb.sealed.seal_at > t) continue;
+      if (best == nullptr || pb.sealed.priority < best->sealed.priority ||
+          (pb.sealed.priority == best->sealed.priority &&
+           pb.sealed.id < best->sealed.id)) {
+        best = &pb;
+      }
+    }
+    MORPH_CHECK(best != nullptr);
+    if (!best->has_measured) break;  // execution has not caught up yet
+
+    const SealedBatch& b = best->sealed;
+    double cycles = cfg_.dispatch_cycles;
+    for (double c : best->measured) cycles += c;
+    const double start = t;
+    const double end = start + cycles;
+    slot_ready_[slot] = end;
+
+    for (std::size_t i = 0; i < b.jobs.size(); ++i) {
+      const auto jit = jobs_.find(b.jobs[i]);
+      MORPH_CHECK(jit != jobs_.end());
+      JobPlacement p;
+      p.seq = b.jobs[i];
+      p.batch = b.id;
+      p.batch_size = static_cast<std::uint32_t>(b.jobs.size());
+      p.slot = slot;
+      p.arrival_cycles = jit->second.arrival_cycles;
+      p.start_cycles = start;
+      p.end_cycles = end;
+      p.queue_cycles = start - jit->second.arrival_cycles;
+      out.push_back(p);
+      jobs_.erase(jit);
+      ++placed_jobs_;
+    }
+    pending_.erase(b.id);
+  }
+  return out;
+}
+
+}  // namespace morph::serve

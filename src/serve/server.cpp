@@ -1,0 +1,424 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "support/check.hpp"
+
+namespace morph::serve {
+
+using telemetry::Json;
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), sched_(cfg_.sched) {
+  if (cfg_.workers == 0) cfg_.workers = cfg_.sched.pool;
+}
+
+Server::~Server() {
+  request_stop();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(readers_mu_);
+    readers.swap(readers_);
+  }
+  for (auto& r : readers) {
+    if (r.joinable()) r.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(readers_mu_);
+    for (auto& c : conns_) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(cfg_.socket_path.c_str());
+}
+
+Status Server::start() {
+  Status s = listen_unix(cfg_.socket_path, &listen_fd_);
+  if (!s.ok()) return s;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(cfg_.workers);
+  for (std::uint32_t i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return Status::Ok();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lk(lifecycle_mu_);
+  stopped_cv_.wait(lk, [this] { return stop_requested_; });
+}
+
+void Server::request_stop() {
+  stopping_.store(true);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lk(readers_mu_);
+    for (auto& c : conns_) {
+      c->open.store(false);
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+      c->write_cv.notify_all();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    work_cv_.notify_all();
+    drain_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lk(order_mu_);
+  }
+  order_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    stop_requested_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or broken): stop accepting
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lk(readers_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn->id = next_conn_id_++;
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+    readers_.emplace_back([this, conn] { writer_loop(conn); });
+  }
+}
+
+void Server::writer_loop(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    std::string chunk;
+    {
+      std::unique_lock<std::mutex> lk(conn->write_mu);
+      conn->write_cv.wait(lk, [&] {
+        return !conn->outbuf.empty() || !conn->open.load();
+      });
+      if (conn->outbuf.empty()) return;  // closed and drained
+      chunk.swap(conn->outbuf);
+      conn->writing = true;
+    }
+    // Socket I/O happens with no lock held; a stalled client blocks only
+    // its own writer. request_stop()'s shutdown(fd) unblocks a full pipe.
+    const char* data = chunk.data();
+    std::size_t n = chunk.size();
+    while (n > 0) {
+      const ssize_t w = ::send(conn->fd, data, n, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        conn->open.store(false);  // client went away; drop quietly
+        break;
+      }
+      data += w;
+      n -= static_cast<std::size_t>(w);
+    }
+    {
+      std::lock_guard<std::mutex> lk(conn->write_mu);
+      conn->writing = false;
+    }
+    conn->write_cv.notify_all();  // wake flush_conn waiters
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Conn> conn) {
+  while (!stopping_.load() && conn->open.load()) {
+    Json msg;
+    const Status s = read_frame(conn->fd, &msg);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kBadRequest) {
+        // Framing survived; only the payload was garbage. Complain, go on.
+        Json err = Json::object();
+        err.set("type", "error");
+        err.set("code", status_code_name(s.code()));
+        err.set("message", s.message());
+        send(conn, err);
+        std::lock_guard<std::mutex> lk(mu_);
+        ++bad_requests_;
+        continue;
+      }
+      break;  // disconnect
+    }
+    const Json* arr = msg.find("arrival");
+    if (arr != nullptr && arr->is_number()) {
+      // Arrival gate (see server.hpp): block until this frame's turn in the
+      // client-assigned global order. Cooperative — a client that skips a
+      // number stalls its successors until stop.
+      const auto n = static_cast<std::uint64_t>(arr->as_int());
+      std::unique_lock<std::mutex> lk(order_mu_);
+      order_cv_.wait(lk, [&] { return stopping_.load() || next_arrival_ >= n; });
+      if (stopping_.load()) break;
+      if (next_arrival_ > n) {
+        lk.unlock();
+        Json err = Json::object();
+        err.set("type", "error");
+        err.set("code", status_code_name(StatusCode::kBadRequest));
+        err.set("message",
+                "arrival " + std::to_string(n) + " already admitted");
+        send(conn, err);
+        std::lock_guard<std::mutex> blk(mu_);
+        ++bad_requests_;
+        continue;
+      }
+      lk.unlock();
+      handle_message(conn, msg);
+      lk.lock();
+      ++next_arrival_;
+      lk.unlock();
+      order_cv_.notify_all();
+      continue;
+    }
+    handle_message(conn, msg);
+  }
+  conn->open.store(false);
+}
+
+void Server::handle_message(const std::shared_ptr<Conn>& conn,
+                            const Json& msg) {
+  const Json* type = msg.find("type");
+  const std::string t =
+      type != nullptr && type->is_string() ? type->as_string() : "";
+  if (t == "submit") {
+    handle_submit(conn, msg);
+    return;
+  }
+  if (t == "hello") {
+    Json r = Json::object();
+    r.set("type", "hello");
+    r.set("proto", kProtocolVersion);
+    r.set("server", "morph-served");
+    send(conn, r);
+    return;
+  }
+  if (t == "flush") {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      sched_.flush();
+      enqueue_runnable_locked();
+      work_cv_.notify_all();
+    }
+    emit_ready();
+    return;
+  }
+  if (t == "stats") {
+    send(conn, stats_json());
+    return;
+  }
+  if (t == "shutdown") {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      sched_.flush();
+      enqueue_runnable_locked();
+      work_cv_.notify_all();
+      drain_cv_.wait(lk, [this] {
+        return (exec_queue_.empty() && executing_ == 0) || stopping_.load();
+      });
+    }
+    emit_ready();
+    Json bye = Json::object();
+    bye.set("type", "bye");
+    send(conn, bye);
+    flush_conn(conn);  // the bye must reach the wire before teardown
+    request_stop();
+    return;
+  }
+  Json err = Json::object();
+  err.set("type", "error");
+  err.set("code", status_code_name(StatusCode::kBadRequest));
+  err.set("message", "unknown message type \"" + t + "\"");
+  send(conn, err);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++bad_requests_;
+}
+
+void Server::handle_submit(const std::shared_ptr<Conn>& conn,
+                           const Json& msg) {
+  JobRequest req;
+  const Status parsed = JobRequest::from_json(msg, &req);
+  if (!parsed.ok()) {
+    Json err = Json::object();
+    err.set("type", "error");
+    if (const Json* id = msg.find("id"); id != nullptr && id->is_number()) {
+      err.set("id", static_cast<std::uint64_t>(id->as_int()));
+    }
+    err.set("code", status_code_name(parsed.code()));
+    err.set("message", parsed.message());
+    send(conn, err);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++bad_requests_;
+    return;
+  }
+
+  const double est = estimate_job_cycles(req.spec);
+  Scheduler::Submitted sub;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sub = sched_.submit(req.spec.kind, req.priority, est);
+    if (sub.accepted) {
+      job_ctx_.emplace(sub.seq, JobCtx{conn, req});
+      enqueue_runnable_locked();
+      work_cv_.notify_all();
+    }
+  }
+  if (!sub.accepted) {
+    Json rej = Json::object();
+    rej.set("type", "reject");
+    rej.set("id", req.id);
+    rej.set("code", status_code_name(sub.reject.code()));
+    rej.set("message", sub.reject.message());
+    send(conn, rej);
+  }
+}
+
+Json Server::stats_json() {
+  std::lock_guard<std::mutex> lk(mu_);
+  Json o = Json::object();
+  o.set("type", "stats");
+  o.set("admitted", sched_.admitted());
+  o.set("rejected", sched_.rejected());
+  o.set("batches_sealed", sched_.batches_sealed());
+  o.set("placed", sched_.placed());
+  o.set("backlog_cycles", sched_.backlog_cycles());
+  o.set("jobs_executed", jobs_executed_);
+  o.set("results_emitted", results_emitted_);
+  o.set("bad_requests", bad_requests_);
+  o.set("pool", static_cast<std::int64_t>(cfg_.sched.pool));
+  o.set("workers", static_cast<std::int64_t>(cfg_.workers));
+  return o;
+}
+
+void Server::enqueue_runnable_locked() {
+  for (SealedBatch& b : sched_.take_runnable()) {
+    const auto key = std::make_pair(b.priority, b.id);
+    exec_queue_.emplace(key, std::move(b));
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    SealedBatch batch;
+    std::vector<JobRequest> reqs;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] {
+        return stopping_.load() || !exec_queue_.empty();
+      });
+      if (exec_queue_.empty()) return;  // stopping, queue drained
+      auto it = exec_queue_.begin();
+      batch = std::move(it->second);
+      exec_queue_.erase(it);
+      ++executing_;
+      reqs.reserve(batch.jobs.size());
+      for (const std::uint64_t seq : batch.jobs) {
+        const auto cit = job_ctx_.find(seq);
+        MORPH_CHECK(cit != job_ctx_.end());
+        reqs.push_back(cit->second.req);
+      }
+    }
+
+    // One shared launch: the batch's jobs run back to back on this pool
+    // worker, each on a fresh, isolated device.
+    std::vector<JobOutcome> outs;
+    std::vector<double> measured;
+    outs.reserve(reqs.size());
+    measured.reserve(reqs.size());
+    for (const JobRequest& r : reqs) {
+      outs.push_back(run_job(r, cfg_.device));
+      measured.push_back(outs.back().exec.modeled_cycles);
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+        outcomes_.emplace(batch.jobs[i], std::move(outs[i]));
+      }
+      jobs_executed_ += batch.jobs.size();
+      sched_.record_measured(batch.id, measured);
+      --executing_;
+      drain_cv_.notify_all();
+    }
+    emit_ready();
+  }
+}
+
+void Server::emit_ready() {
+  // emit_mu_ before mu_: advancing the virtual schedule and writing the
+  // resulting frames must be one atomic step, or two workers could emit out
+  // of virtual dispatch order.
+  std::lock_guard<std::mutex> emit_lk(emit_mu_);
+  std::vector<Emission> emissions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const JobPlacement& p : sched_.advance()) {
+      const auto cit = job_ctx_.find(p.seq);
+      const auto oit = outcomes_.find(p.seq);
+      MORPH_CHECK(cit != job_ctx_.end());
+      MORPH_CHECK(oit != outcomes_.end());
+      const JobRequest& req = cit->second.req;
+      const JobOutcome& out = oit->second;
+
+      Json r = Json::object();
+      r.set("type", "result");
+      r.set("id", req.id);
+      r.set("seq", p.seq);
+      r.set("kind", job_kind_name(req.spec.kind));
+      r.set("status", status_code_name(out.status.code()));
+      if (!out.ok()) r.set("message", out.status.message());
+      r.set("outputs", out.outputs);
+      r.set("exec", out.exec.to_json());
+      if (req.trace) r.set("trace_events", out.trace_events);
+      Json sv = Json::object();
+      sv.set("batch", p.batch);
+      sv.set("batch_size", static_cast<std::int64_t>(p.batch_size));
+      sv.set("slot", static_cast<std::int64_t>(p.slot));
+      sv.set("arrival_cycles", p.arrival_cycles);
+      sv.set("start_cycles", p.start_cycles);
+      sv.set("end_cycles", p.end_cycles);
+      sv.set("queue_cycles", p.queue_cycles);
+      r.set("serve", sv);
+
+      emissions.push_back(Emission{cit->second.conn, std::move(r)});
+      job_ctx_.erase(cit);
+      outcomes_.erase(oit);
+      ++results_emitted_;
+    }
+  }
+  for (const Emission& e : emissions) send(e.conn, e.frame);
+}
+
+void Server::send(const std::shared_ptr<Conn>& conn, const Json& msg) {
+  if (!conn->open.load()) return;
+  {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    conn->outbuf += encode_frame(msg);
+  }
+  conn->write_cv.notify_all();
+}
+
+void Server::flush_conn(const std::shared_ptr<Conn>& conn) {
+  std::unique_lock<std::mutex> lk(conn->write_mu);
+  conn->write_cv.wait(lk, [&] {
+    return (conn->outbuf.empty() && !conn->writing) || !conn->open.load();
+  });
+}
+
+}  // namespace morph::serve

@@ -1,0 +1,150 @@
+// The morph job server: a long-lived, multi-tenant serving loop.
+//
+// Threads:
+//   * one acceptor, blocking on the unix listening socket;
+//   * one reader per client connection, parsing frames and feeding the
+//     scheduler;
+//   * `workers` executor threads, each popping the best (priority, seal
+//     order) sealed batch and running its jobs on fresh gpu::Device
+//     instances (serve/executor.hpp) — the "pool".
+//
+// Determinism layering: real threads race freely (TSan-clean), but nothing
+// they race on is observable. Job results come from isolated per-job
+// devices; batch composition, dispatch order, and modeled serving stats come
+// from the single-threaded Scheduler fed only by the arrival sequence; and
+// results are emitted in the scheduler's virtual dispatch order, serialized
+// by an emission lock. Replaying an arrival order therefore reproduces every
+// reply byte for byte (wall-clock fields are never put on the wire).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpu/config.hpp"
+#include "serve/executor.hpp"
+#include "serve/scheduler.hpp"
+#include "support/status.hpp"
+
+namespace morph::serve {
+
+struct ServerConfig {
+  std::string socket_path = "/tmp/morph-served.sock";
+  SchedulerConfig sched;
+  gpu::DeviceConfig device;      ///< base config; per-job state is re-armed
+  std::uint32_t workers = 0;     ///< executor threads; 0 = one per pool slot
+};
+
+/// See the file comment. start() spawns the serving threads and returns;
+/// wait() blocks until a client "shutdown" (drained) or request_stop().
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Status start();
+  void wait();
+  /// Signal-safe entry is the caller's job (write to a pipe, then call this
+  /// from a normal thread). Stops accepting, drains nothing: queued batches
+  /// finish, unfinished emissions are dropped.
+  void request_stop();
+
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  /// One client connection. Outbound frames are queued and flushed by a
+  /// dedicated writer thread, so a slow or stalled client can never block
+  /// emission (which is serialized server-wide to preserve the virtual
+  /// dispatch order) for everyone else.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::mutex write_mu;            ///< guards outbuf + drained signalling
+    std::condition_variable write_cv;
+    std::string outbuf;             ///< encoded frames awaiting the writer
+    bool writing = false;           ///< writer is mid-chunk (for flush_conn)
+    std::atomic<bool> open{true};
+  };
+  struct JobCtx {
+    std::shared_ptr<Conn> conn;
+    JobRequest req;
+  };
+  struct Emission {
+    std::shared_ptr<Conn> conn;
+    telemetry::Json frame;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Conn> conn);
+  void writer_loop(std::shared_ptr<Conn> conn);
+  void worker_loop();
+  void handle_message(const std::shared_ptr<Conn>& conn,
+                      const telemetry::Json& msg);
+  void handle_submit(const std::shared_ptr<Conn>& conn,
+                     const telemetry::Json& msg);
+  telemetry::Json stats_json();
+  /// Runs the virtual placement as far as it goes and streams the newly
+  /// final results, in virtual dispatch order. Callers must NOT hold
+  /// emit_mu_ or mu_.
+  void emit_ready();
+  /// Queues a frame on the connection's outbound buffer (never blocks on
+  /// the socket; the writer thread does the actual I/O).
+  void send(const std::shared_ptr<Conn>& conn, const telemetry::Json& msg);
+  /// Blocks until the connection's outbound buffer has drained (or the
+  /// connection died) — used before acknowledged teardown ("bye").
+  void flush_conn(const std::shared_ptr<Conn>& conn);
+  void enqueue_runnable_locked();
+
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+
+  std::mutex mu_;  ///< guards scheduler + queues + job maps + counters
+  std::condition_variable work_cv_;   ///< batches queued / stopping
+  std::condition_variable drain_cv_;  ///< a drain watcher (shutdown) waits
+  Scheduler sched_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, SealedBatch> exec_queue_;
+  std::map<std::uint64_t, JobCtx> job_ctx_;        ///< by admission seq
+  std::map<std::uint64_t, JobOutcome> outcomes_;   ///< by admission seq
+  std::uint32_t executing_ = 0;                    ///< batches in flight
+  std::uint64_t jobs_executed_ = 0;
+  std::uint64_t results_emitted_ = 0;
+  std::uint64_t bad_requests_ = 0;
+  std::uint64_t next_conn_id_ = 0;
+
+  /// Serializes emission so results leave in virtual dispatch order even
+  /// when several workers finish simultaneously. Ordered before mu_.
+  std::mutex emit_mu_;
+
+  /// The arrival gate: frames stamped with an "arrival" sequence number are
+  /// admitted in strictly increasing stamp order across ALL connections.
+  /// Per-connection reader threads otherwise race, which would make the
+  /// arrival order — the input the whole determinism contract is
+  /// conditioned on — depend on thread scheduling (a flush could even
+  /// overtake submits still queued on sibling connections and strand them
+  /// in open batches). Unstamped frames bypass the gate.
+  std::mutex order_mu_;
+  std::condition_variable order_cv_;
+  std::uint64_t next_arrival_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex lifecycle_mu_;
+  std::condition_variable stopped_cv_;
+  bool stop_requested_ = false;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex readers_mu_;
+  std::vector<std::thread> readers_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+};
+
+}  // namespace morph::serve

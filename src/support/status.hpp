@@ -24,6 +24,9 @@ enum class StatusCode {
   kInvariantViolation,  ///< app-level invariant checker rejected the state
   kRetriesExhausted,    ///< a bounded-retry recovery ladder gave up
   kBadFaultSpec,        ///< --faults=<spec> did not parse
+  kAdmissionRejected,   ///< job server admission control turned the job away
+  kBadRequest,          ///< malformed protocol frame / job request
+  kIoError,             ///< socket or file transport failure
 };
 
 inline const char* status_code_name(StatusCode c) {
@@ -37,6 +40,9 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kInvariantViolation: return "invariant-violation";
     case StatusCode::kRetriesExhausted: return "retries-exhausted";
     case StatusCode::kBadFaultSpec: return "bad-fault-spec";
+    case StatusCode::kAdmissionRejected: return "admission-rejected";
+    case StatusCode::kBadRequest: return "bad-request";
+    case StatusCode::kIoError: return "io-error";
   }
   return "unknown";
 }

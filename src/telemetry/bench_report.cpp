@@ -26,6 +26,25 @@ const double* BenchReport::Row::find(const std::string& key) const {
   return nullptr;
 }
 
+BenchReport::ServeSection& BenchReport::ServeSection::metric(
+    const std::string& key, double value) {
+  for (auto& [k, v] : metrics) {
+    if (k == key) {
+      v = value;
+      return *this;
+    }
+  }
+  metrics.emplace_back(key, value);
+  return *this;
+}
+
+const double* BenchReport::ServeSection::find(const std::string& key) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
 BenchReport::Row& BenchReport::add_row(const std::string& name) {
   rows.push_back(Row{name, {}});
   return rows.back();
@@ -70,6 +89,11 @@ Json BenchReport::to_json() const {
     js.set("suppressed", sanitizer.suppressed);
     doc.set("sanitizer", std::move(js));
   }
+  if (serve.enabled) {
+    Json js = Json::object();
+    for (const auto& [k, v] : serve.metrics) js.set(k, v);
+    doc.set("serve", std::move(js));
+  }
   return doc;
 }
 
@@ -80,9 +104,10 @@ BenchReport BenchReport::from_json(const Json& doc) {
                       << doc.at("schema").as_string() << "\"");
   const std::int64_t version = doc.at("version").as_int();
   MORPH_CHECK_MSG(version == kSchemaVersion,
-                  "bench report: unsupported version " << version
-                                                       << " (expected "
-                                                       << kSchemaVersion << ")");
+                  "bench report: unsupported schema version "
+                      << version << " (this build reads version "
+                      << kSchemaVersion
+                      << "); regenerate the report with current tools");
   BenchReport r;
   r.bench = doc.at("bench").as_string();
   r.title = doc.at("title").as_string();
@@ -110,6 +135,12 @@ BenchReport BenchReport::from_json(const Json& doc) {
       r.sanitizer.findings.push_back(jf.at(i).as_string());
     }
     r.sanitizer.suppressed = js->at("suppressed").as_double();
+  }
+  if (const Json* js = doc.find("serve")) {
+    r.serve.enabled = true;
+    for (const auto& [k, v] : js->items()) {
+      r.serve.metrics.emplace_back(k, v.as_double());
+    }
   }
   return r;
 }
@@ -143,6 +174,10 @@ BenchReport merge_reports(const std::vector<BenchReport>& reports,
       out.rows.push_back(
           BenchReport::Row{r.bench + "/" + row.name, row.metrics});
     }
+    // Serving metrics survive consolidation so snapshot diffs can gate
+    // them; the first serving report wins (in practice there is one:
+    // serve_loadtest).
+    if (r.serve.enabled && !out.serve.enabled) out.serve = r.serve;
   }
   return out;
 }

@@ -42,6 +42,20 @@ struct BenchReport {
     double suppressed = 0;              ///< findings beyond the report cap
   };
 
+  /// Job-server serving-layer summary (src/serve, bench/serve_loadtest).
+  /// Serialized as an optional "serve" object — emitted only when `enabled`,
+  /// like the sanitizer section, so non-serving reports are unchanged.
+  /// Metric names are stable identifiers ("throughput_jobs_per_model_s",
+  /// "queue_p99_model_ms", "batch_occupancy", "rejected", "poisonings").
+  struct ServeSection {
+    bool enabled = false;
+    /// Insertion-ordered (metric name, value) pairs.
+    std::vector<std::pair<std::string, double>> metrics;
+
+    ServeSection& metric(const std::string& key, double value);
+    const double* find(const std::string& key) const;
+  };
+
   std::string bench;   ///< binary name, e.g. "fig6_dmr_runtime"
   std::string title;   ///< human title, e.g. "Fig. 6 — DMR runtime"
   double clock_ghz = 1.0;
@@ -50,6 +64,7 @@ struct BenchReport {
   std::vector<std::pair<std::string, std::string>> args;
   std::vector<Row> rows;
   SanitizerSection sanitizer;
+  ServeSection serve;
 
   Row& add_row(const std::string& name);
   const Row* find_row(const std::string& name) const;

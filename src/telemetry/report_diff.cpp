@@ -76,6 +76,44 @@ DiffResult diff_reports(const BenchReport& base, const BenchReport& current,
       out.structural.push_back("row new in current: \"" + crow.name + "\"");
     }
   }
+
+  if (base.serve.enabled != current.serve.enabled) {
+    out.structural.push_back(std::string("serve section ") +
+                             (current.serve.enabled ? "new in current"
+                                                    : "missing in current"));
+  } else if (base.serve.enabled) {
+    // The serve section diffs like a row named "(serve)".
+    for (const auto& [metric, bval] : base.serve.metrics) {
+      const double* cptr = current.serve.find(metric);
+      if (!cptr) {
+        out.structural.push_back("serve metric missing in current: " + metric);
+        continue;
+      }
+      const double cval = *cptr;
+      if (cval == bval) continue;
+      MetricDelta d;
+      d.row = "(serve)";
+      d.metric = metric;
+      d.base = bval;
+      d.current = cval;
+      d.rel_change = bval != 0.0
+                         ? (cval - bval) / bval
+                         : (cval > bval
+                                ? std::numeric_limits<double>::infinity()
+                                : -std::numeric_limits<double>::infinity());
+      d.gated = thresholds.gates(metric);
+      d.regression =
+          d.gated && d.rel_change > thresholds.threshold_for(metric);
+      out.regressed = out.regressed || d.regression;
+      out.deltas.push_back(std::move(d));
+    }
+    for (const auto& [metric, cval] : current.serve.metrics) {
+      (void)cval;
+      if (!base.serve.find(metric)) {
+        out.structural.push_back("serve metric new in current: " + metric);
+      }
+    }
+  }
   return out;
 }
 

@@ -1,0 +1,586 @@
+// Tests for the morph job server (src/serve): scheduler decision rules,
+// admission control, batching compatibility, executor determinism and
+// isolation, the wire protocol, and the end-to-end socket path.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/config.hpp"
+#include "serve/client.hpp"
+#include "serve/executor.hpp"
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/report_diff.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using morph::Status;
+using morph::StatusCode;
+using morph::serve::JobKind;
+using morph::serve::JobOutcome;
+using morph::serve::JobPlacement;
+using morph::serve::JobRequest;
+using morph::serve::JobSpec;
+using morph::serve::Scheduler;
+using morph::serve::SchedulerConfig;
+using morph::serve::SealedBatch;
+using morph::telemetry::Json;
+
+// --- scheduler -------------------------------------------------------------
+
+SchedulerConfig small_sched() {
+  SchedulerConfig cfg;
+  cfg.pool = 1;
+  cfg.batch_max = 4;
+  cfg.batch_linger = 100;
+  cfg.dispatch_cycles = 10.0;
+  return cfg;
+}
+
+/// Submits, seals (flush), records `cycles` for every batch, and returns all
+/// placements — the standard drive-to-completion helper.
+std::vector<JobPlacement> drain(Scheduler& s, double cycles = 100.0) {
+  s.flush();
+  std::vector<JobPlacement> out;
+  for (const SealedBatch& b : s.take_runnable()) {
+    s.record_measured(b.id, std::vector<double>(b.jobs.size(), cycles));
+  }
+  for (const JobPlacement& p : s.advance()) out.push_back(p);
+  return out;
+}
+
+TEST(Scheduler, BatchesCompatibleSmallJobs) {
+  Scheduler s(small_sched());
+  // Same kind, same priority: one batch until batch_max.
+  for (int i = 0; i < 4; ++i) {
+    auto sub = s.submit(JobKind::kSp, 3, 100.0);
+    ASSERT_TRUE(sub.accepted);
+  }
+  auto batches = s.take_runnable();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].jobs.size(), 4u);
+  EXPECT_EQ(batches[0].priority, 3u);
+}
+
+TEST(Scheduler, DifferentKindOrPriorityNeverShareABatch) {
+  Scheduler s(small_sched());
+  s.submit(JobKind::kSp, 3, 100.0);
+  s.submit(JobKind::kDmr, 3, 100.0);  // different kind
+  s.submit(JobKind::kSp, 2, 100.0);   // different priority
+  s.flush();
+  const auto batches = s.take_runnable();
+  ASSERT_EQ(batches.size(), 3u);
+  for (const auto& b : batches) EXPECT_EQ(b.jobs.size(), 1u);
+}
+
+TEST(Scheduler, LargeJobSealsAsSingletonImmediately) {
+  auto cfg = small_sched();
+  cfg.small_job_cycles = 1000.0;
+  Scheduler s(cfg);
+  s.submit(JobKind::kMst, 3, 500.0);     // small: stays open
+  s.submit(JobKind::kMst, 3, 5000.0);    // large: instant singleton
+  auto batches = s.take_runnable();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].jobs.size(), 1u);
+  EXPECT_EQ(batches[0].jobs[0], 1u);  // the large job, not the small one
+}
+
+TEST(Scheduler, LingerSealsAnAgingOpenBatch) {
+  auto cfg = small_sched();
+  cfg.batch_linger = 3;
+  Scheduler s(cfg);
+  s.submit(JobKind::kSp, 3, 100.0);       // seq 0 opens the batch
+  s.submit(JobKind::kDmr, 3, 100.0);      // unrelated arrivals age it
+  s.submit(JobKind::kDmr, 3, 100.0);
+  EXPECT_EQ(s.take_runnable().size(), 0u);
+  s.submit(JobKind::kDmr, 3, 100.0);      // seq 3: linger expires
+  const auto batches = s.take_runnable();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].jobs, std::vector<std::uint64_t>{0});
+}
+
+TEST(Scheduler, RejectsJobsOverThePerJobCap) {
+  auto cfg = small_sched();
+  cfg.max_job_cycles = 1000.0;
+  Scheduler s(cfg);
+  EXPECT_TRUE(s.submit(JobKind::kSp, 3, 999.0).accepted);
+  const auto sub = s.submit(JobKind::kSp, 3, 1001.0);
+  EXPECT_FALSE(sub.accepted);
+  EXPECT_EQ(sub.reject.code(), StatusCode::kAdmissionRejected);
+  EXPECT_EQ(s.admitted(), 1u);
+  EXPECT_EQ(s.rejected(), 1u);
+}
+
+TEST(Scheduler, LeakyBucketRejectsWhenFullAndReadmitsAfterDraining) {
+  auto cfg = small_sched();
+  cfg.queue_cap_cycles = 1000.0;
+  cfg.drain_rate = 1.0;
+  Scheduler s(cfg);
+  EXPECT_TRUE(s.submit(JobKind::kSp, 3, 600.0, 0.0).accepted);
+  EXPECT_TRUE(s.submit(JobKind::kSp, 3, 400.0, 0.0).accepted);
+  // Bucket is at 1000: the next job at the same virtual time is turned away.
+  const auto rej = s.submit(JobKind::kSp, 3, 1.0, 0.0);
+  EXPECT_FALSE(rej.accepted);
+  EXPECT_EQ(rej.reject.code(), StatusCode::kAdmissionRejected);
+  // 500 virtual cycles later half the backlog has drained.
+  EXPECT_TRUE(s.submit(JobKind::kSp, 3, 400.0, 500.0).accepted);
+  EXPECT_FALSE(s.submit(JobKind::kSp, 3, 200.0, 500.0).accepted);
+}
+
+TEST(Scheduler, HigherPriorityBatchDispatchesFirst) {
+  auto cfg = small_sched();
+  cfg.batch_max = 2;
+  Scheduler s(cfg);
+  // Two background jobs, then two urgent ones; all runnable at flush time.
+  s.submit(JobKind::kSp, 7, 100.0);
+  s.submit(JobKind::kSp, 7, 100.0);
+  s.submit(JobKind::kDmr, 0, 100.0);
+  s.submit(JobKind::kDmr, 0, 100.0);
+  const auto placements = drain(s);
+  ASSERT_EQ(placements.size(), 4u);
+  // Urgent (priority 0) jobs place before the background batch.
+  EXPECT_EQ(placements[0].seq, 2u);
+  EXPECT_EQ(placements[1].seq, 3u);
+  EXPECT_EQ(placements[2].seq, 0u);
+  EXPECT_EQ(placements[3].seq, 1u);
+  EXPECT_LT(placements[0].start_cycles, placements[2].start_cycles);
+}
+
+TEST(Scheduler, PlacementStallsUntilMeasuredCyclesArrive) {
+  Scheduler s(small_sched());
+  s.submit(JobKind::kSp, 3, 100.0);
+  s.flush();
+  const auto batches = s.take_runnable();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_TRUE(s.advance().empty());  // no measurement yet
+  s.record_measured(batches[0].id, {42.0});
+  const auto placements = s.advance();
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_EQ(placements[0].queue_cycles, 0.0);
+  EXPECT_EQ(placements[0].end_cycles,
+            small_sched().dispatch_cycles + 42.0);
+}
+
+TEST(Scheduler, BatchCompositionIsPoolSizeIndependent) {
+  std::string first_shape;
+  for (std::uint32_t pool : {1u, 3u}) {
+    auto cfg = small_sched();
+    cfg.pool = pool;
+    Scheduler s(cfg);
+    for (int i = 0; i < 10; ++i) {
+      s.submit(i % 2 == 0 ? JobKind::kSp : JobKind::kMst,
+               static_cast<std::uint32_t>(i % 3), 100.0);
+    }
+    s.flush();
+    std::string shape;
+    for (const auto& b : s.take_runnable()) {
+      shape += std::to_string(b.priority) + ":";
+      for (auto j : b.jobs) shape += std::to_string(j) + ",";
+      shape += ";";
+    }
+    if (pool == 1) {
+      first_shape = shape;
+    } else {
+      EXPECT_EQ(shape, first_shape);
+    }
+  }
+}
+
+TEST(Scheduler, ReplayIsByteIdenticalAtFixedPool) {
+  auto run = [] {
+    auto cfg = small_sched();
+    cfg.pool = 2;
+    Scheduler s(cfg);
+    for (int i = 0; i < 12; ++i) {
+      s.submit(i % 2 == 0 ? JobKind::kSp : JobKind::kPta,
+               static_cast<std::uint32_t>((i * 5) % 8), 100.0 + i);
+    }
+    std::string repr;
+    for (const auto& p : drain(s, 77.0)) {
+      repr += std::to_string(p.seq) + "/" + std::to_string(p.slot) + "/" +
+              std::to_string(p.start_cycles) + ";";
+    }
+    return repr;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Scheduler, EmissionWaitsForFlushWhenArrivalsMayStillCompete) {
+  Scheduler s(small_sched());
+  const auto sub = s.submit(JobKind::kSp, 3, 100.0, 0.0);
+  ASSERT_TRUE(sub.accepted);
+  // Fill the batch so it seals without a flush.
+  for (int i = 0; i < 3; ++i) s.submit(JobKind::kSp, 3, 100.0, 0.0);
+  for (const auto& b : s.take_runnable()) {
+    s.record_measured(b.id, std::vector<double>(b.jobs.size(), 10.0));
+  }
+  // Placement would be at t=0 == latest arrival: a competing higher-priority
+  // batch could still arrive at 0, so nothing may be emitted yet.
+  EXPECT_TRUE(s.advance().empty());
+  s.flush();
+  EXPECT_EQ(s.advance().size(), 4u);
+}
+
+// --- executor --------------------------------------------------------------
+
+JobRequest small_job(JobKind kind, std::uint64_t seed = 7) {
+  JobRequest req;
+  req.spec.kind = kind;
+  req.spec.size = kind == JobKind::kDmr ? 60 : 80;
+  req.spec.sweeps = 3;
+  req.spec.phases = 1;
+  req.spec.seed = seed;
+  req.spec.validate = true;
+  return req;
+}
+
+std::string outcome_repr(const JobOutcome& out) {
+  return std::string(morph::status_code_name(out.status.code())) + "|" +
+         out.outputs.dump() + "|" + out.exec.to_json().dump();
+}
+
+TEST(Executor, ResultsAreHostWorkerIndependent) {
+  for (JobKind kind :
+       {JobKind::kDmr, JobKind::kSp, JobKind::kPta, JobKind::kMst}) {
+    morph::gpu::DeviceConfig hw1;
+    hw1.host_workers = 1;
+    morph::gpu::DeviceConfig hw4;
+    hw4.host_workers = 4;
+    const JobOutcome a = morph::serve::run_job(small_job(kind), hw1);
+    const JobOutcome b = morph::serve::run_job(small_job(kind), hw4);
+    EXPECT_TRUE(a.ok()) << outcome_repr(a);
+    EXPECT_EQ(outcome_repr(a), outcome_repr(b))
+        << "kind " << morph::serve::job_kind_name(kind);
+  }
+}
+
+TEST(Executor, FaultedJobFailsAloneWithTypedStatus) {
+  morph::gpu::DeviceConfig cfg;
+  JobRequest faulted = small_job(JobKind::kMst);
+  faulted.faults = "launch@1x64";  // exhausts the launch-retry ladder
+  const JobOutcome bad = morph::serve::run_job(faulted, cfg);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status.code(), StatusCode::kRetriesExhausted);
+  EXPECT_GT(bad.exec.faults_injected, 0u);
+
+  // The identical spec without the campaign is untouched — and a run after
+  // the faulted one is byte-identical to a run before it (fresh devices).
+  const JobOutcome good = morph::serve::run_job(small_job(JobKind::kMst), cfg);
+  EXPECT_TRUE(good.ok());
+  const JobOutcome again = morph::serve::run_job(small_job(JobKind::kMst), cfg);
+  EXPECT_EQ(outcome_repr(good), outcome_repr(again));
+}
+
+TEST(Executor, BadFaultSpecIsATypedPerJobFailure) {
+  JobRequest req = small_job(JobKind::kSp);
+  req.faults = "nonsense@@";
+  const JobOutcome out = morph::serve::run_job(req, {});
+  EXPECT_EQ(out.status.code(), StatusCode::kBadFaultSpec);
+}
+
+TEST(Executor, ServerBaseSinksNeverLeakIntoJobs) {
+  morph::telemetry::TraceSink sink;
+  morph::gpu::DeviceConfig cfg;
+  cfg.trace = &sink;  // a server-wide sink a job must not inherit
+  JobRequest req = small_job(JobKind::kSp);
+  req.trace = false;
+  const JobOutcome out = morph::serve::run_job(req, cfg);
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(sink.merged().size(), 0u);
+  EXPECT_EQ(out.trace_events, 0u);
+
+  req.trace = true;  // per-job sink, counted per job
+  const JobOutcome traced = morph::serve::run_job(req, cfg);
+  EXPECT_GT(traced.trace_events, 0u);
+  EXPECT_EQ(sink.merged().size(), 0u);
+}
+
+// --- job model / protocol --------------------------------------------------
+
+TEST(JobModel, RequestRoundTripsThroughJson) {
+  JobRequest req = small_job(JobKind::kPta, 11);
+  req.id = 42;
+  req.priority = 5;
+  req.faults = "arena@2";
+  req.fault_seed = 9;
+  JobRequest back;
+  ASSERT_TRUE(JobRequest::from_json(req.to_json(), &back).ok());
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.priority, 5u);
+  EXPECT_EQ(back.faults, "arena@2");
+  EXPECT_EQ(back.fault_seed, 9u);
+  EXPECT_EQ(back.spec.signature(), req.spec.signature());
+}
+
+TEST(JobModel, UnknownParamKeysAreRejected) {
+  Json msg = small_job(JobKind::kSp).to_json();
+  msg.set("id", std::uint64_t{1});
+  Json params = msg.at("params");
+  params.set("sizee", std::uint64_t{100});  // typo must not silently no-op
+  msg.set("params", params);
+  JobRequest out;
+  const Status s = JobRequest::from_json(msg, &out);
+  EXPECT_EQ(s.code(), StatusCode::kBadRequest);
+}
+
+TEST(JobModel, OutOfRangePriorityIsRejected) {
+  Json msg = small_job(JobKind::kSp).to_json();
+  msg.set("id", std::uint64_t{1});
+  msg.set("priority", std::int64_t{8});
+  JobRequest out;
+  EXPECT_EQ(JobRequest::from_json(msg, &out).code(), StatusCode::kBadRequest);
+}
+
+TEST(Protocol, FrameDecoderReassemblesSplitFrames) {
+  Json a = Json::object();
+  a.set("type", "hello");
+  Json b = Json::object();
+  b.set("type", "stats");
+  const std::string wire =
+      morph::serve::encode_frame(a) + morph::serve::encode_frame(b);
+
+  morph::serve::FrameDecoder dec;
+  std::vector<std::string> seen;
+  for (std::size_t i = 0; i < wire.size(); ++i) {  // worst case: byte by byte
+    dec.feed(wire.data() + i, 1);
+    Json msg;
+    bool have = false;
+    ASSERT_TRUE(dec.poll(&msg, &have).ok());
+    if (have) seen.push_back(msg.at("type").as_string());
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"hello", "stats"}));
+}
+
+TEST(Protocol, OversizedFrameLengthIsAProtocolError) {
+  morph::serve::FrameDecoder dec;
+  const char hdr[4] = {0x7f, 0x7f, 0x7f, 0x7f};  // ~2 GB claimed length
+  dec.feed(hdr, 4);
+  Json msg;
+  bool have = false;
+  EXPECT_EQ(dec.poll(&msg, &have).code(), StatusCode::kBadRequest);
+}
+
+// --- bench report serve section -------------------------------------------
+
+TEST(ServeReport, SectionRoundTripsAndStaysOptional) {
+  morph::telemetry::BenchReport rep;
+  rep.bench = "serve_loadtest";
+  rep.add_row("loadtest").metric("jobs", 10);
+  // Disabled: serialization is byte-identical to a serve-less report.
+  EXPECT_EQ(rep.to_json().find("serve"), nullptr);
+
+  rep.serve.enabled = true;
+  rep.serve.metric("throughput_jobs_per_model_s", 123.5)
+      .metric("queue_p99_model_ms", 4.5);
+  const auto back =
+      morph::telemetry::BenchReport::parse(rep.to_json_text());
+  ASSERT_TRUE(back.serve.enabled);
+  ASSERT_NE(back.serve.find("queue_p99_model_ms"), nullptr);
+  EXPECT_EQ(*back.serve.find("queue_p99_model_ms"), 4.5);
+  EXPECT_EQ(back.serve.metrics.size(), 2u);
+}
+
+TEST(ServeReport, DiffGatesQueueLatencyRegressions) {
+  morph::telemetry::BenchReport base;
+  base.serve.enabled = true;
+  base.serve.metric("queue_p99_model_ms", 10.0).metric("rejected", 3.0);
+  morph::telemetry::BenchReport cur = base;
+  cur.serve.metrics.clear();
+  cur.serve.metric("queue_p99_model_ms", 11.0).metric("rejected", 5.0);
+
+  const auto res = morph::telemetry::diff_reports(base, cur);
+  EXPECT_TRUE(res.regressed);  // +10% p99 breaches the default 2%
+  bool saw_info_rejected = false;
+  for (const auto& d : res.deltas) {
+    if (d.metric == "rejected") saw_info_rejected = !d.gated;
+  }
+  EXPECT_TRUE(saw_info_rejected);
+
+  // A serve section appearing/disappearing is structural.
+  morph::telemetry::BenchReport plain;
+  const auto res2 = morph::telemetry::diff_reports(plain, base);
+  EXPECT_FALSE(res2.structural.empty());
+}
+
+TEST(ServeReport, MismatchedSchemaVersionFailsLoudly) {
+  morph::telemetry::BenchReport rep;
+  rep.bench = "x";
+  Json doc = rep.to_json();
+  doc.set("version", std::int64_t{999});
+  try {
+    morph::telemetry::BenchReport::from_json(doc);
+    FAIL() << "expected CheckError";
+  } catch (const morph::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported schema version"),
+              std::string::npos);
+  }
+}
+
+// --- end to end ------------------------------------------------------------
+
+class ServeEndToEnd : public ::testing::Test {
+ protected:
+  std::string socket_path() {
+    return ::testing::TempDir() + "morph_serve_e2e_" +
+           std::to_string(::getpid()) + ".sock";
+  }
+};
+
+TEST_F(ServeEndToEnd, MixedBatchMatchesDirectExecutionAndIsolatesFaults) {
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = socket_path();
+  cfg.sched.pool = 2;
+  cfg.sched.batch_max = 3;
+  morph::serve::Server server(cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  morph::serve::Client client;
+  ASSERT_TRUE(client.connect(cfg.socket_path).ok());
+
+  std::vector<JobRequest> reqs;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    JobRequest r = small_job(static_cast<JobKind>(i % 4), 3 + i % 2);
+    r.id = i;
+    r.priority = static_cast<std::uint32_t>(i % 3);
+    if (i == 3) r.faults = "launch@1x64";  // one poisoning attempt
+    reqs.push_back(r);
+  }
+  for (const auto& r : reqs) ASSERT_TRUE(client.submit(r).ok());
+  ASSERT_TRUE(client.send_flush().ok());
+
+  std::map<std::uint64_t, Json> results;
+  while (results.size() < reqs.size()) {
+    Json msg;
+    ASSERT_TRUE(client.next_message(&msg).ok());
+    ASSERT_EQ(msg.at("type").as_string(), "result") << msg.dump();
+    results[static_cast<std::uint64_t>(msg.at("id").as_int())] = msg;
+  }
+
+  for (const auto& r : reqs) {
+    const Json& res = results[r.id];
+    // The served result must equal a direct one-shot run, byte for byte.
+    const JobOutcome direct = morph::serve::run_job(r, cfg.device);
+    EXPECT_EQ(res.at("status").as_string(),
+              morph::status_code_name(direct.status.code()))
+        << "job " << r.id;
+    EXPECT_EQ(res.at("outputs").dump(), direct.outputs.dump());
+    EXPECT_EQ(res.at("exec").dump(), direct.exec.to_json().dump());
+    if (r.id == 3) {
+      EXPECT_EQ(res.at("status").as_string(), "retries-exhausted");
+    } else {
+      EXPECT_EQ(res.at("status").as_string(), "ok") << res.dump();
+    }
+  }
+
+  // Typed admission data survives on the stats endpoint.
+  ASSERT_TRUE(client.send_stats().ok());
+  Json stats;
+  ASSERT_TRUE(client.next_message(&stats).ok());
+  EXPECT_EQ(stats.at("type").as_string(), "stats");
+  EXPECT_EQ(stats.at("admitted").as_int(), 6);
+  EXPECT_EQ(stats.at("placed").as_int(), 6);
+
+  ASSERT_TRUE(client.send_shutdown().ok());
+  Json bye;
+  ASSERT_TRUE(client.next_message(&bye).ok());
+  EXPECT_EQ(bye.at("type").as_string(), "bye");
+  server.wait();
+}
+
+TEST_F(ServeEndToEnd, ArrivalGateOrdersStampedFramesAcrossConnections) {
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = socket_path() + ".3";
+  cfg.sched.batch_max = 2;
+  morph::serve::Server server(cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  morph::serve::Client a;
+  morph::serve::Client b;
+  ASSERT_TRUE(a.connect(cfg.socket_path).ok());
+  ASSERT_TRUE(b.connect(cfg.socket_path).ok());
+
+  // Send arrival 1 first, on a different connection than arrival 0: the
+  // gate must hold it until 0 is admitted, so the admission sequence (and
+  // with it the shared batch) comes out in stamp order regardless of which
+  // reader thread got to run first.
+  JobRequest r1 = small_job(JobKind::kDmr, 4);
+  r1.id = 11;
+  ASSERT_TRUE(a.submit(r1, /*arrival=*/1).ok());
+  JobRequest r0 = small_job(JobKind::kDmr, 3);
+  r0.id = 10;
+  ASSERT_TRUE(b.submit(r0, /*arrival=*/0).ok());
+  ASSERT_TRUE(a.send_flush(/*arrival=*/2).ok());
+
+  Json res1;
+  ASSERT_TRUE(a.next_message(&res1).ok());
+  Json res0;
+  ASSERT_TRUE(b.next_message(&res0).ok());
+  ASSERT_EQ(res0.at("type").as_string(), "result") << res0.dump();
+  ASSERT_EQ(res1.at("type").as_string(), "result") << res1.dump();
+  EXPECT_EQ(res0.at("id").as_int(), 10);
+  EXPECT_EQ(res1.at("id").as_int(), 11);
+  // Stamp order decided admission order...
+  EXPECT_EQ(res0.at("seq").as_int(), 0);
+  EXPECT_EQ(res1.at("seq").as_int(), 1);
+  // ...and both landed in the same (batch_max = 2) shared batch.
+  EXPECT_EQ(res0.at("serve").at("batch").as_int(),
+            res1.at("serve").at("batch").as_int());
+
+  // A stamp that was already admitted is a typed protocol error.
+  JobRequest dup = small_job(JobKind::kSp);
+  dup.id = 12;
+  ASSERT_TRUE(b.submit(dup, /*arrival=*/1).ok());
+  Json err;
+  ASSERT_TRUE(b.next_message(&err).ok());
+  EXPECT_EQ(err.at("type").as_string(), "error");
+  EXPECT_EQ(err.at("code").as_string(), "bad-request");
+
+  server.request_stop();
+}
+
+TEST_F(ServeEndToEnd, AdmissionRejectsAndBadRequestsComeBackTyped) {
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = socket_path() + ".2";
+  cfg.sched.queue_cap_cycles = 1.0;  // everything is over budget
+  morph::serve::Server server(cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  morph::serve::Client client;
+  ASSERT_TRUE(client.connect(cfg.socket_path).ok());
+
+  JobRequest r = small_job(JobKind::kSp);
+  r.id = 1;
+  ASSERT_TRUE(client.submit(r).ok());
+  Json rej;
+  ASSERT_TRUE(client.next_message(&rej).ok());
+  EXPECT_EQ(rej.at("type").as_string(), "reject");
+  EXPECT_EQ(rej.at("code").as_string(), "admission-rejected");
+  EXPECT_EQ(rej.at("id").as_int(), 1);
+
+  Json bad = Json::object();
+  bad.set("type", "submit");
+  bad.set("id", std::uint64_t{2});
+  bad.set("kind", "quantum");  // not a job kind
+  // Raw framing path: no client-side validation in the way.
+  Json err;
+  int raw_fd = -1;
+  ASSERT_TRUE(morph::serve::connect_unix(cfg.socket_path, &raw_fd).ok());
+  ASSERT_TRUE(morph::serve::write_frame(raw_fd, bad).ok());
+  ASSERT_TRUE(morph::serve::read_frame(raw_fd, &err).ok());
+  EXPECT_EQ(err.at("type").as_string(), "error");
+  EXPECT_EQ(err.at("code").as_string(), "bad-request");
+  ::close(raw_fd);
+
+  server.request_stop();
+}
+
+}  // namespace

@@ -67,6 +67,14 @@ int cmd_show(const BenchReport& rep) {
     }
   }
   t.print(std::cout);
+  if (rep.serve.enabled) {
+    std::cout << "\nserve:\n";
+    Table st({"metric", "value"});
+    for (const auto& [metric, value] : rep.serve.metrics) {
+      st.add_row({metric, num(value)});
+    }
+    st.print(std::cout);
+  }
   return 0;
 }
 

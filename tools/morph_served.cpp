@@ -1,0 +1,112 @@
+// morph-served: the morph job-server daemon (docs/SERVER.md).
+//
+//   morph-served --socket=/tmp/morph.sock [--pool=N] [--workers=N]
+//                [--queue-cap=CYCLES] [--max-job-cycles=CYCLES]
+//                [--batch-max=N] [--batch-linger=N] [--small-job=CYCLES]
+//                [--dispatch-cycles=C] [--default-gap=CYCLES]
+//                [--host-workers=N] [--worklist-mode=M]
+//
+// Serves morph jobs (dmr / sp / pta / mst) over a unix socket until a client
+// sends "shutdown" (drains, then exits) or the process receives SIGINT /
+// SIGTERM (stops accepting, finishes queued batches, exits). Prints
+// "listening on <path>" once the socket is ready so scripts can wait for it.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+int g_stop_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char b = 1;
+  // Best effort: the pipe is the only async-signal-safe wakeup we need.
+  [[maybe_unused]] const ssize_t w = ::write(g_stop_pipe[1], &b, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using morph::CliArgs;
+  morph::serve::ServerConfig cfg;
+
+  CliArgs args(argc, argv);
+  args.warn_unknown(
+      {"socket", "pool", "workers", "queue-cap", "max-job-cycles", "batch-max",
+       "batch-linger", "small-job", "dispatch-cycles", "default-gap",
+       "host-workers", "worklist-mode", "worklist-shards"},
+      std::cerr);
+
+  cfg.socket_path = args.get("socket", cfg.socket_path);
+  cfg.sched.pool =
+      static_cast<std::uint32_t>(args.get_positive_int("pool", 1));
+  cfg.workers = static_cast<std::uint32_t>(args.get_int("workers", 0));
+  cfg.sched.queue_cap_cycles =
+      args.get_double("queue-cap", cfg.sched.queue_cap_cycles);
+  cfg.sched.max_job_cycles =
+      args.get_double("max-job-cycles", cfg.sched.max_job_cycles);
+  cfg.sched.batch_max =
+      static_cast<std::uint32_t>(args.get_positive_int("batch-max", 8));
+  cfg.sched.batch_linger = static_cast<std::uint64_t>(
+      args.get_int("batch-linger", static_cast<std::int64_t>(
+                                       cfg.sched.batch_linger)));
+  cfg.sched.small_job_cycles =
+      args.get_double("small-job", cfg.sched.small_job_cycles);
+  cfg.sched.dispatch_cycles =
+      args.get_double("dispatch-cycles", cfg.sched.dispatch_cycles);
+  cfg.sched.default_gap_cycles =
+      args.get_double("default-gap", cfg.sched.default_gap_cycles);
+  cfg.device.host_workers = morph::host_workers_arg(args);
+  const std::string wm = args.get("worklist-mode", "centralized");
+  if (!morph::gpu::parse_worklist_mode(wm, &cfg.device.worklist_mode)) {
+    std::cerr << "error: --worklist-mode must be 'centralized' or 'sharded' "
+                 "(got '"
+              << wm << "')\n";
+    return 2;
+  }
+  cfg.device.worklist_shards =
+      static_cast<std::uint32_t>(args.get_int("worklist-shards", 0));
+
+  if (::pipe(g_stop_pipe) != 0) {
+    std::cerr << "error: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  morph::serve::Server server(cfg);
+  const morph::Status s = server.start();
+  if (!s.ok()) {
+    std::cerr << "error: " << s.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "listening on " << cfg.socket_path << "\n" << std::flush;
+
+  // Relay signals into a clean stop; server.wait() also returns when a
+  // client-driven shutdown drained the queue.
+  std::thread relay([&server] {
+    char b;
+    while (::read(g_stop_pipe[0], &b, 1) < 0 && errno == EINTR) {
+    }
+    server.request_stop();
+  });
+  server.wait();
+  // Unblock the relay if the stop came from a client shutdown.
+  on_signal(0);
+  relay.join();
+  std::cout << "morph-served: stopped\n";
+  return 0;
+}
