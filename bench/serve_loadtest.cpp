@@ -6,8 +6,10 @@
 //                  [--max-job-cycles=CYCLES] [--small-job=CYCLES]
 //                  [--dispatch-cycles=C] [--default-gap=CYCLES]
 //                  [--fault-every=16] [--fault-spec=launch@1x64]
+//                  [--deadline-every=0] [--deadline-ms=MS]
 //                  [--jobs-json=PATH] [--json=REPORT]
 //                  [--connect=SOCKET | --oneshot] [--socket=PATH]
+//                  [--journal=PATH] [--crash-after=N]
 //                  [--shutdown]
 //
 // Three modes sharing one deterministic job list:
@@ -24,8 +26,23 @@
 // launch-retry ladder: the job must fail alone with a typed status while
 // its cohort (jobs with the identical spec) completes byte-identically —
 // any cohort divergence is counted as a pool poisoning and fails the run
-// (exit 5).
+// (exit 5). --deadline-every=K stamps every Kth job with a
+// deadline_model_ms deadline (--deadline-ms); deadline rejects are typed
+// and land in the artifact like any other reject.
+//
+// Crash campaign (--crash-after=N, requires --journal, embedded only): the
+// server runs in a forked child with a write-ahead journal; after N replies
+// the child is SIGKILLed mid-flight, a recovery child is started against
+// the same journal, the clients reconnect and resubmit every unanswered job
+// with its original arrival stamp, and the merged artifact must be
+// byte-identical to an uninterrupted run (docs/SERVER.md, "Durability &
+// operations").
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -70,7 +87,9 @@ std::uint64_t splitmix64(std::uint64_t x) {
 /// scheduling, never results).
 std::vector<JobRequest> make_jobs(std::uint64_t jobs, std::uint64_t seed,
                                   std::uint64_t fault_every,
-                                  const std::string& fault_spec) {
+                                  const std::string& fault_spec,
+                                  std::uint64_t deadline_every,
+                                  double deadline_ms) {
   struct SpecSeed {
     JobKind kind;
     std::uint64_t size;
@@ -103,6 +122,9 @@ std::vector<JobRequest> make_jobs(std::uint64_t jobs, std::uint64_t seed,
     if (fault_every != 0 && i % fault_every == fault_every - 1) {
       r.faults = fault_spec;
       r.fault_seed = seed + i;
+    }
+    if (deadline_every != 0 && i % deadline_every == deadline_every - 1) {
+      r.spec.deadline_model_ms = deadline_ms;
     }
     out.push_back(std::move(r));
   }
@@ -146,6 +168,49 @@ struct Tally {
   std::uint64_t rejected = 0;
 };
 
+/// Runs a Server in a forked child (the crash campaign's victim): the child
+/// serves until a client shutdown or a signal; the parent returns once the
+/// child's socket is listening. SIGKILLing the child is the whole point —
+/// no destructor runs, the socket file and the journal tail are left
+/// exactly as a real crash leaves them. Returns -1 on failure.
+pid_t spawn_server_process(const ServerConfig& scfg) {
+  int ready[2];
+  if (::pipe(ready) != 0) return -1;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(ready[0]);
+    ::close(ready[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    ::close(ready[0]);
+    ::signal(SIGPIPE, SIG_IGN);
+    {
+      Server server(scfg);
+      const Status s = server.start();
+      if (!s.ok()) {
+        std::cerr << "server child: " << s.to_string() << "\n";
+        ::close(ready[1]);
+        std::_Exit(1);
+      }
+      const char b = 1;
+      [[maybe_unused]] const ssize_t w = ::write(ready[1], &b, 1);
+      ::close(ready[1]);
+      server.wait();
+    }
+    std::_Exit(0);  // clean path: Server destructor already ran
+  }
+  ::close(ready[1]);
+  char b = 0;
+  ssize_t r;
+  while ((r = ::read(ready[0], &b, 1)) < 0 && errno == EINTR) {
+  }
+  ::close(ready[0]);
+  if (r == 1) return pid;
+  ::waitpid(pid, nullptr, 0);
+  return -1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -156,7 +221,8 @@ int main(int argc, char** argv) {
         {"jobs", "clients", "seed", "pool", "workers", "batch-max",
          "batch-linger", "queue-cap", "max-job-cycles", "small-job",
          "dispatch-cycles", "default-gap", "fault-every", "fault-spec",
-         "jobs-json", "connect", "oneshot", "socket", "shutdown"});
+         "deadline-every", "deadline-ms", "jobs-json", "connect", "oneshot",
+         "socket", "journal", "crash-after", "shutdown"});
     auto& args = bench.args();
 
     const auto jobs_n =
@@ -169,8 +235,23 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(args.get_int("fault-every", 16));
     const std::string fault_spec =
         args.get("fault-spec", "launch@1x64");
+    const auto deadline_every =
+        static_cast<std::uint64_t>(args.get_int("deadline-every", 0));
+    const double deadline_ms = args.get_double("deadline-ms", 50.0);
     const bool oneshot = args.get_bool("oneshot", false);
     const std::string connect_path = args.get("connect", "");
+    const std::string journal_path = args.get("journal", "");
+    const auto crash_after =
+        static_cast<std::uint64_t>(args.get_int("crash-after", 0));
+    if (crash_after > 0 && (oneshot || !connect_path.empty())) {
+      std::cerr << "error: --crash-after needs the embedded server mode\n";
+      return 2;
+    }
+    if (crash_after > 0 && journal_path.empty()) {
+      std::cerr << "error: --crash-after needs --journal (nothing would "
+                   "survive the kill)\n";
+      return 2;
+    }
 
     SchedulerConfig sched;
     sched.pool = static_cast<std::uint32_t>(args.get_positive_int("pool", 2));
@@ -188,10 +269,15 @@ int main(int argc, char** argv) {
     sched.default_gap_cycles =
         args.get_double("default-gap", sched.default_gap_cycles);
 
-    const std::vector<JobRequest> jobs =
-        make_jobs(jobs_n, seed, fault_every, fault_spec);
+    const std::vector<JobRequest> jobs = make_jobs(
+        jobs_n, seed, fault_every, fault_spec, deadline_every, deadline_ms);
     Tally tally;
     tally.entries.resize(jobs.size());
+    // Durability counters scraped from the server's stats frame (zero in
+    // oneshot mode, which has no server to crash).
+    double stat_recoveries = 0.0, stat_recovered_jobs = 0.0;
+    double stat_deadline_exceeded = 0.0, stat_cancelled = 0.0;
+    double stat_quarantined = 0.0;
 
     const auto t0 = std::chrono::steady_clock::now();
 
@@ -200,9 +286,16 @@ int main(int argc, char** argv) {
       // admitted jobs directly — the reference the served runs must match.
       Scheduler admission(sched);
       for (const JobRequest& req : jobs) {
+        // Same ms -> cycles deadline conversion the server applies.
+        const double deadline_cycles =
+            req.spec.deadline_model_ms > 0.0
+                ? req.spec.deadline_model_ms *
+                      bench.device_config().clock_ghz * 1e6
+                : 0.0;
         const auto sub = admission.submit(
             req.spec.kind, req.priority,
-            morph::serve::estimate_job_cycles(req.spec));
+            morph::serve::estimate_job_cycles(req.spec), -1.0,
+            deadline_cycles);
         if (!sub.accepted) {
           ++tally.rejected;
           tally.entries[req.id] =
@@ -221,18 +314,30 @@ int main(int argc, char** argv) {
       }
     } else {
       std::unique_ptr<Server> server;
+      pid_t server_pid = -1;
+      ServerConfig scfg;
       std::string path = connect_path;
       if (path.empty()) {
-        ServerConfig scfg;
         scfg.socket_path = args.get("socket", "/tmp/morph_loadtest.sock");
         scfg.sched = sched;
         scfg.device = bench.device_config();
         scfg.workers = static_cast<std::uint32_t>(args.get_int("workers", 0));
-        server = std::make_unique<Server>(scfg);
-        const Status s = server->start();
-        if (!s.ok()) {
-          std::cerr << "error: " << s.to_string() << "\n";
-          return 1;
+        scfg.journal.path = journal_path;
+        if (crash_after > 0) {
+          // The victim must be a separate process — SIGKILL is the only
+          // honest crash.
+          server_pid = spawn_server_process(scfg);
+          if (server_pid < 0) {
+            std::cerr << "error: failed to spawn the server child\n";
+            return 1;
+          }
+        } else {
+          server = std::make_unique<Server>(scfg);
+          const Status s = server->start();
+          if (!s.ok()) {
+            std::cerr << "error: " << s.to_string() << "\n";
+            return 1;
+          }
         }
         path = scfg.socket_path;
       }
@@ -269,10 +374,15 @@ int main(int argc, char** argv) {
       morph::throw_if_error(
           clients[0]->send_flush(static_cast<std::int64_t>(jobs.size())));
 
+      std::vector<bool> answered(jobs.size(), false);
+      std::uint64_t answered_n = 0;
       auto handle_reply = [&](const Json& msg) -> bool {
         const std::string type = msg.at("type").as_string();
         const auto id = static_cast<std::uint64_t>(msg.at("id").as_int());
         MORPH_CHECK(id < jobs.size());
+        MORPH_CHECK_MSG(!answered[id], "duplicate reply for job " << id);
+        answered[id] = true;
+        ++answered_n;
         const JobRequest& req = jobs[id];
         if (type == "result") {
           ++tally.completed;
@@ -301,6 +411,64 @@ int main(int argc, char** argv) {
         std::exit(1);
       };
 
+      if (crash_after > 0) {
+        // Phase 1: collect replies round-robin (a short receive timeout
+        // keeps one quiet connection from stalling the count) until the
+        // kill point, then SIGKILL the victim mid-flight.
+        for (auto& cl : clients) cl->set_recv_timeout_ms(200);
+        const std::uint64_t kill_at =
+            std::min<std::uint64_t>(crash_after, jobs.size());
+        std::size_t c = 0;
+        while (answered_n < kill_at) {
+          Json msg;
+          const Status s = clients[c]->next_message(&msg);
+          c = (c + 1) % clients.size();
+          if (s.ok()) {
+            handle_reply(msg);
+            continue;
+          }
+          if (s.code() != StatusCode::kTimeout) {
+            std::cerr << "error: pre-crash receive: " << s.to_string()
+                      << "\n";
+            return 1;
+          }
+        }
+        ::kill(server_pid, SIGKILL);
+        ::waitpid(server_pid, nullptr, 0);
+        std::cerr << "crash campaign: SIGKILL after " << answered_n
+                  << " replies; starting recovery\n";
+        for (auto& cl : clients) cl->close();
+
+        // Phase 2: a recovery child on the same socket (the stale file the
+        // corpse left is probed and unlinked) and the same journal.
+        server_pid = spawn_server_process(scfg);
+        if (server_pid < 0) {
+          std::cerr << "error: failed to spawn the recovery server\n";
+          return 1;
+        }
+
+        // Phase 3: reconnect and resubmit every unanswered frame with its
+        // original arrival stamp, in the original order. Stamps the old
+        // process admitted are answered idempotently from the replay;
+        // stamps it never saw continue the arrival sequence exactly where
+        // it stopped — either way the merged artifact cannot tell a crash
+        // happened.
+        std::fill(outstanding.begin(), outstanding.end(), 0);
+        for (std::size_t k = 0; k < clients.size(); ++k) {
+          morph::throw_if_error(clients[k]->connect(path));
+          clients[k]->set_recv_timeout_ms(30000);
+        }
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+          if (answered[i]) continue;
+          const std::size_t k = i % clients.size();
+          morph::throw_if_error(
+              clients[k]->submit(jobs[i], static_cast<std::int64_t>(i)));
+          ++outstanding[k];
+        }
+        morph::throw_if_error(
+            clients[0]->send_flush(static_cast<std::int64_t>(jobs.size())));
+      }
+
       for (std::size_t c = 0; c < clients.size(); ++c) {
         while (outstanding[c] > 0) {
           Json msg;
@@ -309,8 +477,30 @@ int main(int argc, char** argv) {
         }
       }
 
-      const bool do_shutdown =
-          connect_path.empty() || args.get_bool("shutdown", false);
+      // Scrape the durability counters while the server is still up.
+      {
+        morph::throw_if_error(clients[0]->send_stats());
+        Json msg;
+        for (;;) {
+          morph::throw_if_error(clients[0]->next_message(&msg));
+          const Json* t = msg.find("type");
+          if (t != nullptr && t->is_string() && t->as_string() == "stats") {
+            break;
+          }
+        }
+        const auto stat = [&msg](const char* key) {
+          const Json* v = msg.find(key);
+          return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+        };
+        stat_recoveries = stat("recoveries");
+        stat_recovered_jobs = stat("recovered_jobs");
+        stat_deadline_exceeded = stat("deadline_exceeded");
+        stat_cancelled = stat("cancelled");
+        stat_quarantined = stat("quarantined_devices");
+      }
+
+      const bool do_shutdown = connect_path.empty() ||
+                               args.get_bool("shutdown", false);
       if (do_shutdown) {
         morph::throw_if_error(clients[0]->send_shutdown());
         Json bye;
@@ -318,6 +508,7 @@ int main(int argc, char** argv) {
       }
       clients.clear();
       server.reset();
+      if (server_pid > 0) ::waitpid(server_pid, nullptr, 0);
     }
 
     const double wall =
@@ -415,7 +606,12 @@ int main(int argc, char** argv) {
           .metric("batches", static_cast<double>(tally.batches.size()))
           .metric("batch_occupancy", occupancy)
           .metric("rejected", static_cast<double>(tally.rejected))
-          .metric("poisonings", static_cast<double>(poisonings));
+          .metric("poisonings", static_cast<double>(poisonings))
+          .metric("recoveries", stat_recoveries)
+          .metric("recovered_jobs", stat_recovered_jobs)
+          .metric("deadline_exceeded", stat_deadline_exceeded)
+          .metric("cancelled", stat_cancelled)
+          .metric("quarantined_devices", stat_quarantined);
     }
 
     const int rc = bench.finish();

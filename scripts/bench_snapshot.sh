@@ -27,6 +27,7 @@ benches=(
   "ablate_memory --triangles=10000 --vars=2000 --cons=2500"
   "ablate_pushpull"
   "ablate_worklist --triangles=10000"
+  "serve_loadtest --jobs=48 --clients=3 --pool=2 --deadline-every=7 --deadline-ms=0.5 --socket=/tmp/morph_snapshot_loadtest.sock"
 )
 
 reports=()

@@ -140,13 +140,56 @@ cmp "$SMOKE/lt_p1.json" "$SMOKE/lt_p3.json"
 cmp "$SMOKE/lt_hw1.json" "$SMOKE/lt_hw4.json"
 "$BUILD"/tools/morph-report diff "$SMOKE/lt_hw1_rep.json" "$SMOKE/lt_hw4_rep.json"
 
+echo "== tier 1: durability (crash campaign + graceful drain) =="
+# Crash campaign (docs/SERVER.md, "Durability & operations"): SIGKILL the
+# forked server after N replies, restart it on the same journal, reconnect
+# and resubmit what went unanswered. At every kill point the merged per-job
+# stats must be byte-identical to the uninterrupted one-shot run — recovery
+# replays the journaled arrival sequence, and the arrival sequence decides
+# everything else.
+for kill_after in 3 12 40; do
+  rm -f "$SMOKE/lt_crash.wal"
+  "$BUILD"/bench/serve_loadtest --jobs=48 --clients=3 \
+      --socket="$SMOKE/lt_crash.sock" --journal="$SMOKE/lt_crash.wal" \
+      --crash-after="$kill_after" \
+      --jobs-json="$SMOKE/lt_crash_$kill_after.json" > /dev/null
+  cmp "$SMOKE/lt_oneshot.json" "$SMOKE/lt_crash_$kill_after.json"
+done
+# Graceful drain: SIGTERM finishes every admitted job, resets the journal
+# to its 8-byte magic header, and exits 0 (set -e enforces the exit code).
+"$BUILD"/tools/morph-served --socket="$SMOKE/drain.sock" \
+    --journal="$SMOKE/drain.wal" > "$SMOKE/drain.log" 2>&1 &
+DRAIN_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$SMOKE/drain.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "listening on" "$SMOKE/drain.log" || {
+  echo "ERROR: morph-served (drain check) failed to start" >&2
+  cat "$SMOKE/drain.log" >&2
+  exit 1
+}
+"$BUILD"/bench/serve_loadtest --connect="$SMOKE/drain.sock" --jobs=8 \
+    --clients=2 > /dev/null
+kill -TERM "$DRAIN_PID"
+wait "$DRAIN_PID"
+grep -q "drained" "$SMOKE/drain.log" || {
+  echo "ERROR: SIGTERM did not drain gracefully" >&2
+  cat "$SMOKE/drain.log" >&2
+  exit 1
+}
+if [[ "$(stat -c%s "$SMOKE/drain.wal")" -ne 8 ]]; then
+  echo "ERROR: drain left a non-empty journal behind" >&2
+  exit 1
+fi
+
 echo "== tier 1: perf (bench snapshot vs committed baseline) =="
 # Full CI-sized bench sweep diffed against the committed snapshot. Modeled
 # metrics are deterministic, so any drift is a real change: the default gate
 # is tight, with a little slack on the aggregate cycle counts so a
 # legitimately-moved metric points at the PR that moved it (regenerate the
 # baseline with scripts/bench_snapshot.sh when the move is intentional).
-BASELINE="BENCH_2026-08-08.json"
+BASELINE="BENCH_2026-08-09.json"
 if [[ -f "$BASELINE" ]]; then
   scripts/bench_snapshot.sh "$BUILD" "$SMOKE/snapshot.json" > /dev/null
   "$BUILD"/tools/morph-report diff "$BASELINE" "$SMOKE/snapshot.json" \

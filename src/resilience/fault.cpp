@@ -27,6 +27,7 @@ std::optional<FaultClass> class_from_name(const std::string& name) {
   if (name == "launch") return FaultClass::kLaunchFail;
   if (name == "barrier") return FaultClass::kBarrierStall;
   if (name == "livelock") return FaultClass::kLivelock;
+  if (name == "journal") return FaultClass::kJournalTorn;
   return std::nullopt;
 }
 
@@ -56,6 +57,7 @@ const char* fault_class_name(FaultClass cls) {
     case FaultClass::kLaunchFail: return "launch";
     case FaultClass::kBarrierStall: return "barrier";
     case FaultClass::kLivelock: return "livelock";
+    case FaultClass::kJournalTorn: return "journal";
   }
   return "unknown";
 }
@@ -123,7 +125,7 @@ Status parse_fault_plan(const std::string& spec, std::uint64_t seed,
     if (!cls)
       return bad_spec(clause, "unknown fault class '" + rest +
                                   "' (expected arena|globalwl|localwl|"
-                                  "launch|barrier|livelock)");
+                                  "launch|barrier|livelock|journal)");
     fc.cls = *cls;
     plan.clauses.push_back(fc);
   }

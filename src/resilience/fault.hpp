@@ -16,6 +16,7 @@
 //
 //   clause  := class [ '@' after ] [ 'x' count ] [ '~' prob ]
 //   class   := arena | globalwl | localwl | launch | barrier | livelock
+//            | journal
 //
 //   after   — 1-based opportunity index of the first firing (default 1)
 //   count   — number of consecutive opportunities that fire (default 1)
@@ -46,9 +47,10 @@ enum class FaultClass : std::uint8_t {
   kLaunchFail,           ///< transient kernel-launch failure
   kBarrierStall,         ///< one intra-kernel global barrier stalls
   kLivelock,             ///< conflict resolution: repeated priority ties
+  kJournalTorn,          ///< serve WAL append crashes mid-record (torn write)
 };
 
-inline constexpr std::size_t kNumFaultClasses = 6;
+inline constexpr std::size_t kNumFaultClasses = 7;
 
 const char* fault_class_name(FaultClass cls);
 

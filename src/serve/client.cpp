@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace morph::serve {
 
@@ -22,6 +24,7 @@ Status io_error(const std::string& what) {
 
 Status Client::connect(const std::string& socket_path) {
   close();
+  path_ = socket_path;
   Status s = connect_unix(socket_path, &fd_);
   if (!s.ok()) return s;
   const int flags = ::fcntl(fd_, F_GETFL, 0);
@@ -66,9 +69,33 @@ Status Client::submit(const JobRequest& req, std::int64_t arrival) {
   return send_message(m);
 }
 
+Status Client::resubmit_after_failure(const JobRequest& req,
+                                      std::int64_t arrival) {
+  const std::string path = path_;
+  if (path.empty()) {
+    return Status(StatusCode::kIoError, "never connected; nothing to retry");
+  }
+  close();
+  // Deterministic per-job backoff: every retrying client spreads out the
+  // same way on every run, instead of a synchronized reconnect stampede.
+  const auto backoff_ms = 5 + (req.id % 16) * 5;
+  std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  Status s = connect(path);
+  if (!s.ok()) return s;
+  return submit(req, arrival);
+}
+
 Status Client::send_flush(std::int64_t arrival) {
   Json m = Json::object();
   m.set("type", "flush");
+  if (arrival >= 0) m.set("arrival", static_cast<std::uint64_t>(arrival));
+  return send_message(m);
+}
+
+Status Client::send_cancel(std::uint64_t id, std::int64_t arrival) {
+  Json m = Json::object();
+  m.set("type", "cancel");
+  m.set("id", id);
   if (arrival >= 0) m.set("arrival", static_cast<std::uint64_t>(arrival));
   return send_message(m);
 }
@@ -160,7 +187,14 @@ Status Client::pump(bool wait_readable) {
     pfd.fd = fd_;
     pfd.events = POLLIN;
     if (!outbound_done) pfd.events |= POLLOUT;
-    if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) return io_error("poll");
+    const int timeout = wait_readable ? recv_timeout_ms_ : -1;
+    const int rv = ::poll(&pfd, 1, timeout);
+    if (rv < 0 && errno != EINTR) return io_error("poll");
+    if (rv == 0) {
+      return Status(StatusCode::kTimeout,
+                    "no server message within " +
+                        std::to_string(recv_timeout_ms_) + " ms");
+    }
   }
 }
 

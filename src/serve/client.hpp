@@ -31,6 +31,22 @@ class Client {
   void close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Bounds how long next_message() waits for the server before giving up
+  /// with kTimeout. Negative (the default) waits forever. A timed-out
+  /// connection is still usable — the caller decides between waiting more
+  /// and resubmit_after_failure().
+  void set_recv_timeout_ms(int ms) { recv_timeout_ms_ = ms; }
+
+  /// One reconnect-and-resubmit attempt after a timeout or disconnect:
+  /// closes the wedged connection, backs off deterministically (keyed by
+  /// the job id, so a thundering herd of retrying clients spreads out the
+  /// same way every run), reconnects to the same path, and resubmits `req`
+  /// with its original arrival stamp. The server answers a stamp it already
+  /// admitted idempotently, so retrying a job whose reply was merely lost
+  /// in transit is safe (docs/SERVER.md, "Durability & operations").
+  Status resubmit_after_failure(const JobRequest& req,
+                                std::int64_t arrival = -1);
+
   /// Queues a submit frame and pumps. Results arriving meanwhile land in
   /// the inbox for next_message(). `arrival >= 0` stamps the frame with a
   /// global arrival sequence number: the server admits stamped frames in
@@ -38,12 +54,17 @@ class Client {
   /// what makes a multi-connection workload replayable (docs/SERVER.md).
   Status submit(const JobRequest& req, std::int64_t arrival = -1);
   Status send_flush(std::int64_t arrival = -1);
+  /// Asks the server to cancel job `id`. The server answers "cancelled" with
+  /// `caught` saying whether the job was still in an open batch (sealed jobs
+  /// run to completion and their result arrives normally).
+  Status send_cancel(std::uint64_t id, std::int64_t arrival = -1);
   Status send_stats();
   Status send_shutdown();
 
   /// Next server message (result / reject / error / stats / bye), in arrival
   /// order. Blocks until one is available; kIoError once the connection is
-  /// gone and the inbox is empty.
+  /// gone and the inbox is empty; kTimeout when a receive timeout is set
+  /// and the server stays silent past it.
   Status next_message(telemetry::Json* out);
 
   /// Messages already decoded and waiting.
@@ -56,6 +77,8 @@ class Client {
   Status pump(bool wait_readable);
 
   int fd_ = -1;
+  std::string path_;        ///< last connect target, for reconnects
+  int recv_timeout_ms_ = -1;
   std::string outbuf_;
   FrameDecoder decoder_;
   std::deque<telemetry::Json> inbox_;

@@ -208,4 +208,26 @@ JobOutcome run_job(const JobRequest& req, const gpu::DeviceConfig& base) {
   return out;
 }
 
+QuarantinePool::QuarantinePool(std::uint32_t slots, std::uint32_t threshold)
+    : threshold_(threshold),
+      consecutive_faults_(slots, 0),
+      flagged_(slots, false) {}
+
+void QuarantinePool::record(std::uint32_t slot, bool ok) {
+  if (threshold_ == 0 || slot >= consecutive_faults_.size()) return;
+  if (ok) {
+    consecutive_faults_[slot] = 0;
+    return;
+  }
+  if (flagged_[slot]) return;  // already quarantined; don't double-count
+  if (++consecutive_faults_[slot] >= threshold_) {
+    flagged_[slot] = true;
+    ++quarantined_;
+  }
+}
+
+bool QuarantinePool::is_quarantined(std::uint32_t slot) const {
+  return slot < flagged_.size() && flagged_[slot];
+}
+
 }  // namespace morph::serve

@@ -15,6 +15,9 @@
 // layer promise byte-identical replays across pool sizes.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "gpu/config.hpp"
 #include "serve/job.hpp"
 
@@ -34,5 +37,31 @@ double estimate_job_cycles(const JobSpec& spec);
 /// Effective secondary size: pta constraints (default 1.3x vars) and mst
 /// undirected edges (default 2x nodes).
 std::uint64_t resolved_size2(const JobSpec& spec);
+
+/// Per-virtual-slot fault bookkeeping: a slot whose jobs fail `threshold`
+/// times in a row is quarantined (flagged unhealthy in stats; jobs still
+/// run — the pool is simulated, so quarantine is an observability signal,
+/// not a placement constraint). Fed in *virtual dispatch order* by the
+/// server as placements are emitted, never by racy worker threads, so the
+/// quarantine set is a pure function of the arrival sequence and identical
+/// at every pool size that yields the same placements (docs/SERVER.md).
+class QuarantinePool {
+ public:
+  QuarantinePool() = default;
+  QuarantinePool(std::uint32_t slots, std::uint32_t threshold);
+
+  /// Records one job outcome on `slot` (in virtual dispatch order).
+  void record(std::uint32_t slot, bool ok);
+
+  std::uint32_t quarantined() const { return quarantined_; }
+  bool is_quarantined(std::uint32_t slot) const;
+  std::uint32_t threshold() const { return threshold_; }
+
+ private:
+  std::uint32_t threshold_ = 0;  ///< 0 disables quarantine
+  std::uint32_t quarantined_ = 0;
+  std::vector<std::uint32_t> consecutive_faults_;
+  std::vector<bool> flagged_;
+};
 
 }  // namespace morph::serve

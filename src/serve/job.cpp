@@ -42,6 +42,7 @@ std::string JobSpec::signature() const {
   }
   os << "/seed=" << seed;
   if (validate) os << "/validate";
+  if (deadline_model_ms > 0.0) os << "/deadline=" << deadline_model_ms;
   return os.str();
 }
 
@@ -56,6 +57,7 @@ Json JobSpec::to_json() const {
   }
   o.set("seed", seed);
   if (validate) o.set("validate", true);
+  if (deadline_model_ms > 0.0) o.set("deadline_model_ms", deadline_model_ms);
   return o;
 }
 
@@ -85,8 +87,9 @@ Status JobSpec::from_json(const Json& doc, JobKind kind_in, JobSpec* out) {
   if (!doc.is_object()) return bad("params must be an object");
   *out = JobSpec{};
   out->kind = kind_in;
-  static const char* const kKnown[] = {"size",   "size2",  "k",       "sweeps",
-                                       "phases", "seed",   "validate"};
+  static const char* const kKnown[] = {
+      "size",   "size2", "k",        "sweeps",
+      "phases", "seed",  "validate", "deadline_model_ms"};
   for (const auto& [key, value] : doc.items()) {
     (void)value;
     bool known = false;
@@ -113,6 +116,12 @@ Status JobSpec::from_json(const Json& doc, JobKind kind_in, JobSpec* out) {
       return bad("params.validate must be a boolean");
     }
     out->validate = b->as_bool();
+  }
+  if (const Json* d = doc.find("deadline_model_ms")) {
+    if (!d->is_number() || d->as_double() < 0.0) {
+      return bad("params.deadline_model_ms must be a non-negative number");
+    }
+    out->deadline_model_ms = d->as_double();
   }
   return Status::Ok();
 }

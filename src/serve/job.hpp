@@ -51,6 +51,12 @@ struct JobSpec {
   /// Run the app-level invariant gate on the result (mesh validity /
   /// verify_forest / pta::check_solution / sp assignment check).
   bool validate = false;
+  /// Optional latency deadline in modeled milliseconds (0 = none). Enforced
+  /// by the scheduler in *virtual time* against the pool-independent
+  /// reference server: a job whose admission backlog already implies a start
+  /// past arrival + deadline is turned away with kDeadlineExceeded — the
+  /// same decision at every pool size (docs/SERVER.md).
+  double deadline_model_ms = 0.0;
 
   /// Stable one-line signature ("dmr/size=800/seed=3"); identical specs
   /// produce identical results, so the load test uses this to group replay

@@ -1,0 +1,132 @@
+// Write-ahead journal for the morph job server (docs/SERVER.md,
+// "Durability & operations").
+//
+// The serving layer is deterministic: the admitted arrival sequence fully
+// determines admission decisions, batch composition, placement, and every
+// per-job result. That makes crash recovery cheap and provable — persist the
+// admitted frames, replay them after a restart, and the recovered replies
+// must equal the uninterrupted run byte for byte. The journal is that
+// persistence: an append-only file the server writes one record to *before*
+// acting on each gate-admitted frame (WAL discipline), plus completion
+// markers after a job's reply frame has been handed to the writer, so
+// recovery knows which replies the old process already emitted.
+//
+// On-disk format (all integers big-endian):
+//
+//   file   := magic records*
+//   magic  := "MWALJRN1"                      (8 bytes)
+//   record := u32 payload_len | u32 crc32(payload) | payload
+//   payload:
+//     'A' u64 arrival  frame-json-bytes       admitted frame (submit/flush/
+//                                             cancel), exactly as received
+//     'C' u64 arrival                         completion: the reply for this
+//                                             arrival reached the writer
+//     'K'                                     checkpoint: everything before
+//                                             this record is complete AND
+//                                             emitted; recovery skips it
+//
+// A crash can tear the last record (short write); scan() tolerates exactly
+// that — a record whose length prefix, payload, or checksum does not fully
+// check out ends the scan and is reported as `torn_tail`, and opening the
+// journal for append truncates the file back to the last valid byte. A torn
+// record anywhere else is indistinguishable from a torn tail by construction:
+// appends are sequential, so bytes after a torn record can only exist if the
+// disk reordered writes across an fsync barrier, which the fsync policy is
+// there to prevent.
+//
+// Fsync policy: kAlways fsyncs after every record (the durability the crash
+// campaign asserts), kInterval every N records, kNone leaves flushing to the
+// OS (fastest; a crash may lose the tail, which recovery tolerates but the
+// byte-identity guarantee then only covers what reached the disk).
+//
+// Fault injection: a `journal` fault clause (resilience grammar) makes the
+// Nth append write only half its record and then fail the journal — the
+// deterministic stand-in for "the process died mid-append" that the
+// torn-tail tests are built on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resilience/fault.hpp"
+#include "support/status.hpp"
+
+namespace morph::serve {
+
+struct JournalConfig {
+  std::string path;
+  enum class Fsync : std::uint8_t { kNone, kAlways, kInterval };
+  Fsync fsync = Fsync::kAlways;
+  std::uint64_t fsync_interval = 64;  ///< records per fsync under kInterval
+  /// Optional deterministic torn-write campaign (`journal` fault class).
+  /// Not owned; may be nullptr.
+  const resilience::FaultPlan* faults = nullptr;
+};
+
+/// Parses "none" | "always" | a positive record count (=> kInterval).
+/// Returns false on anything else.
+bool parse_fsync_policy(const std::string& s, JournalConfig* cfg);
+
+struct JournalRecord {
+  enum class Type : std::uint8_t { kAdmitted, kCompleted, kCheckpoint };
+  Type type = Type::kAdmitted;
+  std::uint64_t arrival = 0;  ///< meaningless for kCheckpoint
+  std::string frame;          ///< raw frame JSON (kAdmitted only)
+};
+
+/// Result of scanning a journal file.
+struct JournalScan {
+  std::vector<JournalRecord> records;  ///< valid records, in file order
+  bool torn_tail = false;       ///< the file ended inside a record
+  std::uint64_t valid_bytes = 0;  ///< file prefix covered by valid records
+  std::uint64_t file_bytes = 0;
+};
+
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal() { close(); }
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Reads every valid record of the journal at `path`. A missing file is
+  /// not an error (empty scan); a bad magic or unreadable file is kIoError.
+  static Status scan(const std::string& path, JournalScan* out);
+
+  /// Opens (creating if absent) the journal for appending. When the file
+  /// already holds records, `valid_bytes` from a prior scan says where the
+  /// valid prefix ends — anything beyond it (a torn tail) is truncated away.
+  Status open(const JournalConfig& cfg, std::uint64_t valid_bytes = 0);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  Status append_admitted(std::uint64_t arrival, const std::string& frame);
+  Status append_completed(std::uint64_t arrival);
+  /// Appends a checkpoint record: every record before it is complete and
+  /// its reply emitted. Recovery resumes after the last checkpoint.
+  Status append_checkpoint();
+  /// Drain-time truncation: the queue is empty and every reply is out, so
+  /// the whole history can be dropped. Resets the file to just the magic.
+  Status truncate_all();
+
+  /// Flushes pending bytes to disk regardless of policy.
+  Status sync();
+
+  void close();
+
+  std::uint64_t records_appended() const { return appended_; }
+
+ private:
+  Status append_record(const std::string& payload);
+
+  JournalConfig cfg_;
+  int fd_ = -1;
+  bool failed_ = false;  ///< a torn (injected) write wedged the journal
+  std::uint64_t appended_ = 0;
+  std::uint64_t since_sync_ = 0;
+  resilience::FaultInjector injector_{resilience::FaultPlan{}};
+  bool inject_ = false;
+};
+
+}  // namespace morph::serve

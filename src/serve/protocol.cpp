@@ -126,9 +126,29 @@ Status listen_unix(const std::string& path, int* fd_out) {
   }
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
+  // A socket file may be left behind by a crashed (SIGKILLed) server. Probe
+  // it with a connect before unlinking: a live listener answers (address in
+  // use — refuse to steal it), a dead one refuses the connection (stale —
+  // safe to remove), a missing file means a clean start.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe < 0) return io_error("socket");
+  if (::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    ::close(probe);
+    return Status(StatusCode::kIoError,
+                  path + " already has a live server listening");
+  }
+  const int probe_errno = errno;
+  ::close(probe);
+  if (probe_errno == ECONNREFUSED) {
+    ::unlink(path.c_str());  // confirmed stale: no listener behind the file
+  } else if (probe_errno != ENOENT) {
+    // Some other obstruction (a regular file, permissions, ...): let bind
+    // report it rather than destroy something we don't understand.
+  }
+
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) return io_error("socket");
-  ::unlink(path.c_str());  // replace a stale socket file
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
     const Status s = io_error("bind " + path);
     ::close(fd);

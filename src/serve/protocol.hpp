@@ -7,9 +7,10 @@
 // trivial (no sniffing for document boundaries in a byte stream).
 //
 // Message types ride in a "type" field:
-//   client -> server: "hello", "submit" (serve/job.hpp), "flush", "stats",
-//                     "shutdown"
-//   server -> client: "hello", "result", "reject", "error", "stats", "bye"
+//   client -> server: "hello", "submit" (serve/job.hpp), "flush", "cancel",
+//                     "stats", "shutdown"
+//   server -> client: "hello", "result", "reject", "error", "cancelled",
+//                     "stats", "bye"
 //
 // This header owns only framing and socket plumbing; message construction
 // lives in serve/server.cpp and serve/client.cpp.
@@ -57,8 +58,11 @@ class FrameDecoder {
   std::string buf_;
 };
 
-/// Creates, binds, and listens on a unix socket, replacing a stale file at
-/// `path` if one exists. kIoError on failure.
+/// Creates, binds, and listens on a unix socket. A leftover socket file at
+/// `path` is probed with a connect first: a live listener makes this fail
+/// with kIoError (never steal a running server's socket); a refused
+/// connection marks the file stale — the corpse of a crashed server — and
+/// it is unlinked. kIoError on failure.
 Status listen_unix(const std::string& path, int* fd_out);
 
 /// Connects to a listening unix socket. kIoError on failure.

@@ -46,7 +46,8 @@ void Scheduler::seal_lingering() {
 }
 
 Scheduler::Submitted Scheduler::submit(JobKind kind, std::uint32_t priority,
-                                       double est_cycles, double at_cycles) {
+                                       double est_cycles, double at_cycles,
+                                       double deadline_cycles) {
   MORPH_CHECK(priority <= kMaxPriority);
   MORPH_CHECK(est_cycles >= 0.0);
 
@@ -85,6 +86,21 @@ Scheduler::Submitted Scheduler::submit(JobKind kind, std::uint32_t priority,
     seal_lingering();
     return out;
   }
+  if (deadline_cycles > 0.0 && cfg_.drain_rate > 0.0 &&
+      bucket_ / cfg_.drain_rate > deadline_cycles) {
+    // The backlog ahead of this job already pushes its reference-server
+    // start past arrival + deadline; admitting it would only burn cycles on
+    // a result nobody wants. Pool-independent by construction: bucket_ and
+    // drain_rate never see the pool.
+    std::ostringstream os;
+    os << "backlog implies a start " << bucket_ / cfg_.drain_rate
+       << " virtual cycles after arrival, past the " << deadline_cycles
+       << "-cycle deadline";
+    out.reject = Status(StatusCode::kDeadlineExceeded, os.str());
+    ++deadline_rejected_;
+    seal_lingering();
+    return out;
+  }
 
   out.accepted = true;
   bucket_ += est_cycles;
@@ -110,6 +126,24 @@ Scheduler::Submitted Scheduler::submit(JobKind kind, std::uint32_t priority,
 
   seal_lingering();
   return out;
+}
+
+bool Scheduler::cancel(std::uint64_t seq) {
+  for (auto it = open_.begin(); it != open_.end(); ++it) {
+    auto& jobs = it->second.jobs;
+    const auto jit = std::find(jobs.begin(), jobs.end(), seq);
+    if (jit == jobs.end()) continue;
+    jobs.erase(jit);
+    if (jobs.empty()) open_.erase(it);
+    const auto entry = jobs_.find(seq);
+    MORPH_CHECK(entry != jobs_.end());
+    // Give the backlog its deposit back: a cancelled job will never drain.
+    bucket_ = std::max(0.0, bucket_ - entry->second.est_cycles);
+    jobs_.erase(entry);
+    ++cancelled_;
+    return true;
+  }
+  return false;  // already sealed (or never admitted): too late to cancel
 }
 
 void Scheduler::flush() {

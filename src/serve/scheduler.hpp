@@ -104,8 +104,23 @@ class Scheduler {
   /// Sealed batches produced by this arrival (the job's own batch filling
   /// up, or older batches timing out their linger) are appended to the
   /// runnable queue — collect them with take_runnable().
+  ///
+  /// `deadline_cycles > 0` is a virtual-time latency deadline: the job is
+  /// turned away with kDeadlineExceeded when the admission backlog already
+  /// implies a start later than arrival + deadline on the pool-independent
+  /// reference server (backlog / drain_rate virtual cycles of queued work
+  /// ahead of it). Like admission itself, the decision never looks at the
+  /// pool, so it is identical at every pool size.
   Submitted submit(JobKind kind, std::uint32_t priority, double est_cycles,
-                   double at_cycles = -1.0);
+                   double at_cycles = -1.0, double deadline_cycles = 0.0);
+
+  /// Cancels an admitted job that is still in an *open* batch (not yet
+  /// sealed). Returns true and forgets the job when it was caught in time;
+  /// false when the job already sealed (execution may be underway — the
+  /// result will be emitted normally). Determinism: sealing is a pure
+  /// function of the arrival sequence, so whether a cancel at arrival
+  /// position p catches job s is too.
+  bool cancel(std::uint64_t seq);
 
   /// Seals every open batch and finalizes the epoch: all placements for
   /// batches sealed so far may be emitted even past the latest arrival
@@ -134,6 +149,8 @@ class Scheduler {
   std::uint64_t placed() const { return placed_jobs_; }
   double backlog_cycles() const { return bucket_; }
   double latest_arrival() const { return last_at_; }
+  std::uint64_t deadline_rejected() const { return deadline_rejected_; }
+  std::uint64_t cancelled() const { return cancelled_; }
 
  private:
   struct JobEntry {
@@ -159,6 +176,8 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t deadline_rejected_ = 0;
+  std::uint64_t cancelled_ = 0;
   double last_at_ = 0.0;
   double bucket_ = 0.0;
   bool saw_arrival_ = false;

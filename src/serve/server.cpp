@@ -4,6 +4,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <set>
 #include <utility>
 
 #include "serve/protocol.hpp"
@@ -15,6 +18,7 @@ using telemetry::Json;
 
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), sched_(cfg_.sched) {
   if (cfg_.workers == 0) cfg_.workers = cfg_.sched.pool;
+  quarantine_ = QuarantinePool(cfg_.sched.pool, cfg_.quarantine_threshold);
 }
 
 Server::~Server() {
@@ -43,7 +47,9 @@ Server::~Server() {
 }
 
 Status Server::start() {
-  Status s = listen_unix(cfg_.socket_path, &listen_fd_);
+  Status s = recover_from_journal();
+  if (!s.ok()) return s;
+  s = listen_unix(cfg_.socket_path, &listen_fd_);
   if (!s.ok()) return s;
   acceptor_ = std::thread([this] { accept_loop(); });
   workers_.reserve(cfg_.workers);
@@ -83,6 +89,63 @@ void Server::request_stop() {
     stop_requested_ = true;
   }
   stopped_cv_.notify_all();
+}
+
+bool Server::drain_stop() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    return true;  // a drain is already underway
+  }
+  // Stop the front door; connected clients keep their sockets so queued
+  // results can still reach them (new submits are rejected kUnavailable).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+
+  std::uint64_t before = 0;
+  bool drained = true;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    before = results_emitted_;
+    sched_.flush();
+    enqueue_runnable_locked();
+    work_cv_.notify_all();
+    const auto done = [this] {
+      return (exec_queue_.empty() && executing_ == 0) || stopping_.load();
+    };
+    if (cfg_.drain_deadline_ms > 0.0) {
+      drained = drain_cv_.wait_for(
+          lk,
+          std::chrono::duration<double, std::milli>(cfg_.drain_deadline_ms),
+          done);
+    } else {
+      drain_cv_.wait(lk, done);
+    }
+  }
+  if (!drained) {
+    // Past the deadline with work still queued: hard stop. The journal
+    // keeps the unfinished tail, so the next start finishes the job.
+    request_stop();
+    return false;
+  }
+  emit_ready();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    drained_jobs_ = results_emitted_ - before;
+  }
+  // Push queued reply bytes onto the wire before teardown closes the fds.
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lk(readers_mu_);
+    conns = conns_;
+  }
+  for (const auto& c : conns) {
+    if (c->open.load()) flush_conn(c);
+  }
+  if (journal_enabled_) {
+    std::lock_guard<std::mutex> jlk(journal_mu_);
+    (void)journal_.truncate_all();
+  }
+  request_stop();
+  return true;
 }
 
 void Server::accept_loop() {
@@ -168,19 +231,18 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
       order_cv_.wait(lk, [&] { return stopping_.load() || next_arrival_ >= n; });
       if (stopping_.load()) break;
       if (next_arrival_ > n) {
+        // A stamp the gate already admitted: a client resubmitting after a
+        // server crash (or a confused one — handle_replayed tells them
+        // apart). Idempotent; the gate does not move.
         lk.unlock();
-        Json err = Json::object();
-        err.set("type", "error");
-        err.set("code", status_code_name(StatusCode::kBadRequest));
-        err.set("message",
-                "arrival " + std::to_string(n) + " already admitted");
-        send(conn, err);
-        std::lock_guard<std::mutex> blk(mu_);
-        ++bad_requests_;
+        handle_replayed(conn, msg, n);
         continue;
       }
       lk.unlock();
-      handle_message(conn, msg);
+      // WAL discipline: the frame reaches the journal before anything acts
+      // on it, so a crash at any later point can replay it.
+      journal_admitted(n, msg);
+      handle_message(conn, msg, n);
       lk.lock();
       ++next_arrival_;
       lk.unlock();
@@ -193,12 +255,16 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
 }
 
 void Server::handle_message(const std::shared_ptr<Conn>& conn,
-                            const Json& msg) {
+                            const Json& msg, std::uint64_t arrival) {
   const Json* type = msg.find("type");
   const std::string t =
       type != nullptr && type->is_string() ? type->as_string() : "";
   if (t == "submit") {
-    handle_submit(conn, msg);
+    handle_submit(conn, msg, arrival);
+    return;
+  }
+  if (t == "cancel") {
+    handle_cancel(conn, msg, arrival);
     return;
   }
   if (t == "hello") {
@@ -234,6 +300,12 @@ void Server::handle_message(const std::shared_ptr<Conn>& conn,
       });
     }
     emit_ready();
+    // Clean, drained shutdown: every reply is out, so the journal history
+    // is dead weight — drop it and the next start recovers nothing.
+    if (journal_enabled_) {
+      std::lock_guard<std::mutex> jlk(journal_mu_);
+      (void)journal_.truncate_all();
+    }
     Json bye = Json::object();
     bye.set("type", "bye");
     send(conn, bye);
@@ -245,13 +317,13 @@ void Server::handle_message(const std::shared_ptr<Conn>& conn,
   err.set("type", "error");
   err.set("code", status_code_name(StatusCode::kBadRequest));
   err.set("message", "unknown message type \"" + t + "\"");
-  send(conn, err);
+  reply(conn, arrival, err);
   std::lock_guard<std::mutex> lk(mu_);
   ++bad_requests_;
 }
 
 void Server::handle_submit(const std::shared_ptr<Conn>& conn,
-                           const Json& msg) {
+                           const Json& msg, std::uint64_t arrival) {
   JobRequest req;
   const Status parsed = JobRequest::from_json(msg, &req);
   if (!parsed.ok()) {
@@ -262,19 +334,36 @@ void Server::handle_submit(const std::shared_ptr<Conn>& conn,
     }
     err.set("code", status_code_name(parsed.code()));
     err.set("message", parsed.message());
-    send(conn, err);
+    reply(conn, arrival, err);
     std::lock_guard<std::mutex> lk(mu_);
     ++bad_requests_;
     return;
   }
+  if (draining_.load()) {
+    // Graceful drain: nothing new gets in; the client should go elsewhere.
+    Json rej = Json::object();
+    rej.set("type", "reject");
+    rej.set("id", req.id);
+    rej.set("code", status_code_name(StatusCode::kUnavailable));
+    rej.set("message", "server is draining");
+    reply(conn, arrival, rej);
+    return;
+  }
 
   const double est = estimate_job_cycles(req.spec);
+  // Deadlines are declared in modeled milliseconds; the scheduler thinks in
+  // modeled cycles at the device's nominal clock.
+  const double deadline_cycles =
+      req.spec.deadline_model_ms > 0.0
+          ? req.spec.deadline_model_ms * cfg_.device.clock_ghz * 1e6
+          : 0.0;
   Scheduler::Submitted sub;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    sub = sched_.submit(req.spec.kind, req.priority, est);
+    sub = sched_.submit(req.spec.kind, req.priority, est, -1.0,
+                        deadline_cycles);
     if (sub.accepted) {
-      job_ctx_.emplace(sub.seq, JobCtx{conn, req});
+      job_ctx_.emplace(sub.seq, JobCtx{conn, req, arrival});
       enqueue_runnable_locked();
       work_cv_.notify_all();
     }
@@ -285,7 +374,168 @@ void Server::handle_submit(const std::shared_ptr<Conn>& conn,
     rej.set("id", req.id);
     rej.set("code", status_code_name(sub.reject.code()));
     rej.set("message", sub.reject.message());
-    send(conn, rej);
+    reply(conn, arrival, rej);
+  }
+}
+
+void Server::handle_cancel(const std::shared_ptr<Conn>& conn, const Json& msg,
+                           std::uint64_t arrival) {
+  const Json* id = msg.find("id");
+  if (id == nullptr || !id->is_number()) {
+    Json err = Json::object();
+    err.set("type", "error");
+    err.set("code", status_code_name(StatusCode::kBadRequest));
+    err.set("message", "cancel.id must be a number");
+    reply(conn, arrival, err);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++bad_requests_;
+    return;
+  }
+  const auto target = static_cast<std::uint64_t>(id->as_int());
+  bool caught = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Cancels ride the arrival gate and are journaled: whether one lands
+    // before its job seals is part of the deterministic arrival sequence.
+    for (auto it = job_ctx_.begin(); it != job_ctx_.end(); ++it) {
+      if (it->second.req.id != target) continue;
+      if (sched_.cancel(it->first)) {
+        job_ctx_.erase(it);
+        caught = true;
+      }
+      break;
+    }
+  }
+  Json r = Json::object();
+  r.set("type", "cancelled");
+  r.set("id", target);
+  r.set("caught", caught);  // false: sealed already, the result still comes
+  reply(conn, arrival, r);
+}
+
+Status Server::recover_from_journal() {
+  if (cfg_.journal.path.empty()) return Status::Ok();
+  JournalScan scan;
+  Status s = Journal::scan(cfg_.journal.path, &scan);
+  if (!s.ok()) return s;
+  s = journal_.open(cfg_.journal, scan.valid_bytes);
+  if (!s.ok()) return s;
+  journal_enabled_ = true;
+  if (scan.records.empty()) return Status::Ok();
+
+  // Replay. No serving thread exists yet, so this runs the normal admission
+  // path single-threaded: every journaled frame goes back through
+  // handle_message in its original order, with no connection attached —
+  // replies land in replayed_replies_ for resubmitting clients to collect,
+  // and re-admitted jobs execute once the workers spawn. Completed frames
+  // are replayed too: their measured cycles feed the placement of
+  // everything after them.
+  recoveries_ = 1;
+  std::set<std::uint64_t> completed;
+  for (const JournalRecord& r : scan.records) {
+    if (r.type == JournalRecord::Type::kCompleted) completed.insert(r.arrival);
+  }
+  std::uint64_t max_arrival = 0;
+  bool any = false;
+  for (const JournalRecord& r : scan.records) {
+    if (r.type != JournalRecord::Type::kAdmitted) continue;
+    max_arrival = any ? std::max(max_arrival, r.arrival) : r.arrival;
+    any = true;
+    Json msg;
+    try {
+      msg = Json::parse(r.frame);
+    } catch (const CheckError&) {
+      continue;  // CRC passed but the payload is not JSON; skip defensively
+    }
+    const Json* type = msg.find("type");
+    const std::string t =
+        type != nullptr && type->is_string() ? type->as_string() : "";
+    // Lifecycle frames (hello/stats/shutdown) are conversational, never
+    // journaled; tolerate them anyway in case of an old or hand-built log.
+    if (t != "submit" && t != "flush" && t != "cancel") continue;
+    if (t == "submit" && completed.count(r.arrival) == 0) ++recovered_jobs_;
+    handle_message(nullptr, msg, r.arrival);
+  }
+  if (any) next_arrival_ = max_arrival + 1;
+  return Status::Ok();
+}
+
+void Server::handle_replayed(const std::shared_ptr<Conn>& conn,
+                             const Json& msg, std::uint64_t arrival) {
+  const Json* type = msg.find("type");
+  const std::string t =
+      type != nullptr && type->is_string() ? type->as_string() : "";
+  Json stored;
+  bool have = false;
+  bool pending = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto rit = replayed_replies_.find(arrival);
+    if (rit != replayed_replies_.end()) {
+      stored = rit->second;
+      have = true;
+    } else {
+      // The replayed job is still in flight; adopt the resubmitting
+      // connection so its result is delivered directly when placed.
+      for (auto& [seq, ctx] : job_ctx_) {
+        (void)seq;
+        if (ctx.arrival != arrival || ctx.conn != nullptr) continue;
+        ctx.conn = conn;
+        pending = true;
+        break;
+      }
+    }
+  }
+  if (have) {
+    send(conn, stored);
+    return;
+  }
+  if (pending) return;
+  if (t == "flush" || t == "cancel") return;  // already applied: no-op
+  Json err = Json::object();
+  err.set("type", "error");
+  err.set("code", status_code_name(StatusCode::kBadRequest));
+  err.set("message",
+          "arrival " + std::to_string(arrival) + " already admitted");
+  send(conn, err);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++bad_requests_;
+}
+
+void Server::reply(const std::shared_ptr<Conn>& conn, std::uint64_t arrival,
+                   const Json& frame) {
+  if (conn != nullptr) {
+    send(conn, frame);
+    return;
+  }
+  if (arrival == kNoArrival) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  replayed_replies_.emplace(arrival, frame);
+}
+
+void Server::journal_admitted(std::uint64_t arrival, const Json& msg) {
+  if (!journal_enabled_) return;
+  std::lock_guard<std::mutex> lk(journal_mu_);
+  const Status s = journal_.append_admitted(arrival, msg.dump());
+  if (!s.ok()) {
+    if (journal_errors_ == 0) {
+      std::fprintf(stderr, "morph-served: journal append failed: %s\n",
+                   s.message().c_str());
+    }
+    ++journal_errors_;
+  }
+}
+
+void Server::journal_completed(std::uint64_t arrival) {
+  if (!journal_enabled_ || arrival == kNoArrival) return;
+  std::lock_guard<std::mutex> lk(journal_mu_);
+  const Status s = journal_.append_completed(arrival);
+  if (!s.ok()) {
+    if (journal_errors_ == 0) {
+      std::fprintf(stderr, "morph-served: journal append failed: %s\n",
+                   s.message().c_str());
+    }
+    ++journal_errors_;
   }
 }
 
@@ -301,8 +551,20 @@ Json Server::stats_json() {
   o.set("jobs_executed", jobs_executed_);
   o.set("results_emitted", results_emitted_);
   o.set("bad_requests", bad_requests_);
+  o.set("deadline_exceeded", sched_.deadline_rejected());
+  o.set("cancelled", sched_.cancelled());
+  o.set("quarantined_devices",
+        static_cast<std::int64_t>(quarantine_.quarantined()));
+  o.set("recoveries", recoveries_);
+  o.set("recovered_jobs", recovered_jobs_);
+  o.set("drained_jobs", drained_jobs_);
   o.set("pool", static_cast<std::int64_t>(cfg_.sched.pool));
   o.set("workers", static_cast<std::int64_t>(cfg_.workers));
+  {
+    std::lock_guard<std::mutex> jlk(journal_mu_);
+    o.set("journal_records", journal_.records_appended());
+    o.set("journal_errors", journal_errors_);
+  }
   return o;
 }
 
@@ -375,6 +637,10 @@ void Server::emit_ready() {
       MORPH_CHECK(oit != outcomes_.end());
       const JobRequest& req = cit->second.req;
       const JobOutcome& out = oit->second;
+      // Quarantine bookkeeping happens here — placements arrive in virtual
+      // dispatch order, so the per-slot consecutive-fault streaks (and the
+      // quarantine set) are as deterministic as the placements themselves.
+      quarantine_.record(p.slot, out.ok());
 
       Json r = Json::object();
       r.set("type", "result");
@@ -396,13 +662,26 @@ void Server::emit_ready() {
       sv.set("queue_cycles", p.queue_cycles);
       r.set("serve", sv);
 
-      emissions.push_back(Emission{cit->second.conn, std::move(r)});
+      if (cit->second.conn == nullptr) {
+        // Recovery replay owns this job: park the reply for the client's
+        // resubmission instead of a wire that no longer exists.
+        replayed_replies_.emplace(cit->second.arrival, r);
+      }
+      emissions.push_back(
+          Emission{cit->second.conn, std::move(r), cit->second.arrival});
       job_ctx_.erase(cit);
       outcomes_.erase(oit);
       ++results_emitted_;
     }
   }
-  for (const Emission& e : emissions) send(e.conn, e.frame);
+  for (const Emission& e : emissions) {
+    if (e.conn != nullptr) send(e.conn, e.frame);
+    // Completion marker only after the reply is handed to the writer (or
+    // parked for resubmission): a crash before this line replays the job, a
+    // crash after it replays too — 'C' only trims the recovered_jobs count,
+    // never the replay itself.
+    journal_completed(e.arrival);
+  }
 }
 
 void Server::send(const std::shared_ptr<Conn>& conn, const Json& msg) {

@@ -29,6 +29,7 @@
 
 #include "gpu/config.hpp"
 #include "serve/executor.hpp"
+#include "serve/journal.hpp"
 #include "serve/scheduler.hpp"
 #include "support/status.hpp"
 
@@ -39,6 +40,15 @@ struct ServerConfig {
   SchedulerConfig sched;
   gpu::DeviceConfig device;      ///< base config; per-job state is re-armed
   std::uint32_t workers = 0;     ///< executor threads; 0 = one per pool slot
+  /// Write-ahead journal (docs/SERVER.md, "Durability & operations").
+  /// journal.path empty = no journal, no durability, no recovery.
+  JournalConfig journal;
+  /// Wall-clock bound on drain_stop(); past it the server hard-stops with
+  /// work still queued. <= 0 waits forever.
+  double drain_deadline_ms = 30000.0;
+  /// Consecutive job faults on one virtual pool slot before that slot is
+  /// flagged quarantined in stats. 0 disables.
+  std::uint32_t quarantine_threshold = 3;
 };
 
 /// See the file comment. start() spawns the serving threads and returns;
@@ -51,14 +61,27 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
+  /// Recovers from the journal (when configured), binds the socket, and
+  /// spawns the serving threads. Recovery replays every journaled frame
+  /// through the normal admission path before the socket opens, so the
+  /// arrival sequence — and with it every scheduling decision — continues
+  /// exactly where the crashed process left it.
   Status start();
   void wait();
   /// Signal-safe entry is the caller's job (write to a pipe, then call this
   /// from a normal thread). Stops accepting, drains nothing: queued batches
   /// finish, unfinished emissions are dropped.
   void request_stop();
+  /// Graceful drain (SIGTERM): stop accepting work, seal and finish every
+  /// admitted batch, emit all results, checkpoint the journal, then stop.
+  /// Bounded by drain_deadline_ms — on timeout the server hard-stops and
+  /// the journal keeps the unfinished tail for the next recovery. Returns
+  /// false on that timeout path.
+  bool drain_stop();
 
   const ServerConfig& config() const { return cfg_; }
+  std::uint64_t recovered_jobs() const { return recovered_jobs_; }
+  std::uint64_t drained_jobs() const { return drained_jobs_; }
 
  private:
   /// One client connection. Outbound frames are queued and flushed by a
@@ -74,13 +97,18 @@ class Server {
     bool writing = false;           ///< writer is mid-chunk (for flush_conn)
     std::atomic<bool> open{true};
   };
+  /// Sentinel arrival stamp for unstamped frames.
+  static constexpr std::uint64_t kNoArrival = ~std::uint64_t{0};
+
   struct JobCtx {
-    std::shared_ptr<Conn> conn;
+    std::shared_ptr<Conn> conn;  ///< null while owned by recovery replay
     JobRequest req;
+    std::uint64_t arrival = kNoArrival;  ///< stamp of the admitting frame
   };
   struct Emission {
     std::shared_ptr<Conn> conn;
     telemetry::Json frame;
+    std::uint64_t arrival = kNoArrival;
   };
 
   void accept_loop();
@@ -88,9 +116,31 @@ class Server {
   void writer_loop(std::shared_ptr<Conn> conn);
   void worker_loop();
   void handle_message(const std::shared_ptr<Conn>& conn,
-                      const telemetry::Json& msg);
+                      const telemetry::Json& msg,
+                      std::uint64_t arrival = kNoArrival);
   void handle_submit(const std::shared_ptr<Conn>& conn,
-                     const telemetry::Json& msg);
+                     const telemetry::Json& msg, std::uint64_t arrival);
+  void handle_cancel(const std::shared_ptr<Conn>& conn,
+                     const telemetry::Json& msg, std::uint64_t arrival);
+  /// A frame whose stamp the gate already admitted — a client resubmitting
+  /// after a server crash. Answered idempotently: stored replayed reply,
+  /// re-attachment to the still-running replayed job, or a silent no-op for
+  /// re-applied flush/cancel.
+  void handle_replayed(const std::shared_ptr<Conn>& conn,
+                       const telemetry::Json& msg, std::uint64_t arrival);
+  /// Replays the journal's surviving records through handle_message before
+  /// any serving thread exists.
+  Status recover_from_journal();
+  /// send() when the frame has a live connection; otherwise (recovery
+  /// replay) the frame is stored by arrival stamp for the client's
+  /// resubmission to collect.
+  void reply(const std::shared_ptr<Conn>& conn, std::uint64_t arrival,
+             const telemetry::Json& frame);
+  /// Best-effort journal append: a journal that stops accepting writes
+  /// costs durability, not availability (counted in stats as
+  /// journal_errors).
+  void journal_admitted(std::uint64_t arrival, const telemetry::Json& msg);
+  void journal_completed(std::uint64_t arrival);
   telemetry::Json stats_json();
   /// Runs the virtual placement as far as it goes and streams the newly
   /// final results, in virtual dispatch order. Callers must NOT hold
@@ -119,6 +169,21 @@ class Server {
   std::uint64_t results_emitted_ = 0;
   std::uint64_t bad_requests_ = 0;
   std::uint64_t next_conn_id_ = 0;
+  /// Replies produced while replaying the journal (reject, error, result)
+  /// keyed by the admitting frame's arrival stamp; a resubmission with that
+  /// stamp is answered from here, byte-identical to the no-crash reply.
+  std::map<std::uint64_t, telemetry::Json> replayed_replies_;
+  QuarantinePool quarantine_;
+  std::uint64_t recoveries_ = 0;      ///< journal recoveries at start (0/1)
+  std::uint64_t recovered_jobs_ = 0;  ///< incomplete jobs re-admitted
+  std::uint64_t drained_jobs_ = 0;    ///< results emitted by drain_stop()
+
+  /// Journal state. Ordered after mu_ (journal_admitted is called with no
+  /// lock held; journal_completed from emit_ready after mu_ released).
+  std::mutex journal_mu_;
+  Journal journal_;
+  bool journal_enabled_ = false;
+  std::uint64_t journal_errors_ = 0;
 
   /// Serializes emission so results leave in virtual dispatch order even
   /// when several workers finish simultaneously. Ordered before mu_.
@@ -136,6 +201,7 @@ class Server {
   std::uint64_t next_arrival_ = 0;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::mutex lifecycle_mu_;
   std::condition_variable stopped_cv_;
   bool stop_requested_ = false;

@@ -27,6 +27,10 @@ enum class StatusCode {
   kAdmissionRejected,   ///< job server admission control turned the job away
   kBadRequest,          ///< malformed protocol frame / job request
   kIoError,             ///< socket or file transport failure
+  kTimeout,             ///< client-side receive deadline expired
+  kDeadlineExceeded,    ///< job could not meet its virtual-time deadline
+  kCancelled,           ///< job cancelled by the client before it sealed
+  kUnavailable,         ///< server is draining and accepts no new work
 };
 
 inline const char* status_code_name(StatusCode c) {
@@ -43,6 +47,10 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kAdmissionRejected: return "admission-rejected";
     case StatusCode::kBadRequest: return "bad-request";
     case StatusCode::kIoError: return "io-error";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -24,13 +24,17 @@ struct DiffThresholds {
   /// Metrics that can fail the diff. Everything else (wall_seconds, ...) is
   /// compared for the report but never regresses.
   /// Serve-section latency percentiles are modeled cycles (deterministic),
-  /// so they gate like any other modeled metric; poisonings must never grow.
-  std::vector<std::string> gated = {"modeled_cycles",     "model_ms",
-                                    "atomics",            "divergence",
-                                    "warp_steps",         "global_accesses",
-                                    "total_work",         "queue_p50_model_ms",
-                                    "queue_p90_model_ms", "queue_p99_model_ms",
-                                    "poisonings"};
+  /// so they gate like any other modeled metric; poisonings, quarantined
+  /// devices, and deadline misses are deterministic health counters that
+  /// must never grow.
+  std::vector<std::string> gated = {
+      "modeled_cycles",      "model_ms",
+      "atomics",             "divergence",
+      "warp_steps",          "global_accesses",
+      "total_work",          "queue_p50_model_ms",
+      "queue_p90_model_ms",  "queue_p99_model_ms",
+      "poisonings",          "quarantined_devices",
+      "deadline_exceeded"};
 
   double threshold_for(const std::string& metric) const;
   bool gates(const std::string& metric) const;

@@ -3,17 +3,21 @@
 // isolation, the wire protocol, and the end-to-end socket path.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gpu/config.hpp"
+#include "resilience/fault.hpp"
 #include "serve/client.hpp"
 #include "serve/executor.hpp"
 #include "serve/job.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/server.hpp"
@@ -30,6 +34,10 @@ using morph::serve::JobOutcome;
 using morph::serve::JobPlacement;
 using morph::serve::JobRequest;
 using morph::serve::JobSpec;
+using morph::serve::Journal;
+using morph::serve::JournalConfig;
+using morph::serve::JournalRecord;
+using morph::serve::JournalScan;
 using morph::serve::Scheduler;
 using morph::serve::SchedulerConfig;
 using morph::serve::SealedBatch;
@@ -230,6 +238,50 @@ TEST(Scheduler, EmissionWaitsForFlushWhenArrivalsMayStillCompete) {
   EXPECT_EQ(s.advance().size(), 4u);
 }
 
+TEST(Scheduler, DeadlineRejectsWhenBacklogOutrunsIt) {
+  auto cfg = small_sched();
+  cfg.queue_cap_cycles = 1e9;
+  cfg.drain_rate = 1.0;
+  Scheduler s(cfg);
+  ASSERT_TRUE(s.submit(JobKind::kSp, 3, 500.0, 0.0).accepted);
+  // 500 backlog cycles drain at 1 cycle/cycle: a 100-cycle deadline cannot
+  // be met, and the refusal is typed (not a generic admission reject).
+  const auto rej = s.submit(JobKind::kSp, 3, 10.0, 0.0, /*deadline=*/100.0);
+  EXPECT_FALSE(rej.accepted);
+  EXPECT_EQ(rej.reject.code(), StatusCode::kDeadlineExceeded);
+  // A deadline the backlog fits inside is admitted, and no deadline at all
+  // never triggers the check.
+  EXPECT_TRUE(s.submit(JobKind::kSp, 3, 10.0, 0.0, 1000.0).accepted);
+  EXPECT_TRUE(s.submit(JobKind::kSp, 3, 10.0, 0.0).accepted);
+  EXPECT_EQ(s.deadline_rejected(), 1u);
+  EXPECT_EQ(s.rejected(), 0u);  // deadline misses are counted separately
+}
+
+TEST(Scheduler, CancelCatchesOpenBatchesOnlyAndRefundsTheBucket) {
+  auto cfg = small_sched();
+  cfg.queue_cap_cycles = 1000.0;
+  cfg.drain_rate = 1.0;
+  Scheduler s(cfg);
+  const auto a = s.submit(JobKind::kSp, 3, 900.0, 0.0);
+  ASSERT_TRUE(a.accepted);
+  EXPECT_TRUE(s.cancel(a.seq));
+  EXPECT_EQ(s.cancelled(), 1u);
+  // The refund releases the room the cancelled job was holding: another
+  // 900-cycle job at the same virtual instant fits again.
+  const auto b = s.submit(JobKind::kSp, 3, 900.0, 0.0);
+  ASSERT_TRUE(b.accepted);
+  // Only the live job places; the cancelled one is gone without a trace.
+  const auto placements = drain(s);
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_EQ(placements[0].seq, b.seq);
+  // A sealed job is past the point of no return.
+  const auto c = s.submit(JobKind::kSp, 3, 10.0, 2000.0);
+  ASSERT_TRUE(c.accepted);
+  s.flush();
+  EXPECT_FALSE(s.cancel(c.seq));
+  EXPECT_EQ(s.cancelled(), 1u);
+}
+
 // --- executor --------------------------------------------------------------
 
 JobRequest small_job(JobKind kind, std::uint64_t seed = 7) {
@@ -304,6 +356,188 @@ TEST(Executor, ServerBaseSinksNeverLeakIntoJobs) {
   EXPECT_EQ(sink.merged().size(), 0u);
 }
 
+TEST(Executor, QuarantinePoolFlagsRepeatOffendersOnce) {
+  morph::serve::QuarantinePool q(2, 3);
+  q.record(0, false);
+  q.record(0, false);
+  q.record(0, true);  // success resets the streak
+  q.record(0, false);
+  q.record(0, false);
+  EXPECT_EQ(q.quarantined(), 0u);
+  q.record(0, false);  // third consecutive fault
+  EXPECT_EQ(q.quarantined(), 1u);
+  EXPECT_TRUE(q.is_quarantined(0));
+  EXPECT_FALSE(q.is_quarantined(1));
+  q.record(0, false);  // an already-flagged slot is not counted again
+  EXPECT_EQ(q.quarantined(), 1u);
+
+  morph::serve::QuarantinePool off(2, 0);  // threshold 0 disables the policy
+  for (int i = 0; i < 10; ++i) off.record(1, false);
+  EXPECT_EQ(off.quarantined(), 0u);
+}
+
+// --- journal ---------------------------------------------------------------
+
+std::string temp_journal(const std::string& tag) {
+  return ::testing::TempDir() + "morph_wal_" + tag + "_" +
+         std::to_string(::getpid()) + ".wal";
+}
+
+JournalConfig nosync_journal(const std::string& path) {
+  JournalConfig cfg;
+  cfg.path = path;
+  cfg.fsync = JournalConfig::Fsync::kNone;  // tests tear files by hand
+  return cfg;
+}
+
+TEST(Journal, FsyncPolicyParses) {
+  JournalConfig cfg;
+  EXPECT_TRUE(morph::serve::parse_fsync_policy("none", &cfg));
+  EXPECT_EQ(cfg.fsync, JournalConfig::Fsync::kNone);
+  EXPECT_TRUE(morph::serve::parse_fsync_policy("always", &cfg));
+  EXPECT_EQ(cfg.fsync, JournalConfig::Fsync::kAlways);
+  EXPECT_TRUE(morph::serve::parse_fsync_policy("16", &cfg));
+  EXPECT_EQ(cfg.fsync, JournalConfig::Fsync::kInterval);
+  EXPECT_EQ(cfg.fsync_interval, 16u);
+  EXPECT_FALSE(morph::serve::parse_fsync_policy("", &cfg));
+  EXPECT_FALSE(morph::serve::parse_fsync_policy("0", &cfg));
+  EXPECT_FALSE(morph::serve::parse_fsync_policy("sometimes", &cfg));
+}
+
+TEST(Journal, RecordsRoundTripThroughScan) {
+  const std::string path = temp_journal("rt");
+  ::unlink(path.c_str());
+  Journal j;
+  ASSERT_TRUE(j.open(nosync_journal(path)).ok());
+  ASSERT_TRUE(j.append_admitted(0, R"({"type":"submit","id":7})").ok());
+  ASSERT_TRUE(j.append_admitted(1, R"({"type":"flush"})").ok());
+  ASSERT_TRUE(j.append_completed(0).ok());
+  EXPECT_EQ(j.records_appended(), 3u);
+  j.close();
+
+  JournalScan scan;
+  ASSERT_TRUE(Journal::scan(path, &scan).ok());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.valid_bytes, scan.file_bytes);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].type, JournalRecord::Type::kAdmitted);
+  EXPECT_EQ(scan.records[0].arrival, 0u);
+  EXPECT_EQ(scan.records[0].frame, R"({"type":"submit","id":7})");
+  EXPECT_EQ(scan.records[1].arrival, 1u);
+  EXPECT_EQ(scan.records[2].type, JournalRecord::Type::kCompleted);
+  EXPECT_EQ(scan.records[2].arrival, 0u);
+  ::unlink(path.c_str());
+}
+
+TEST(Journal, CheckpointHidesEmittedHistory) {
+  const std::string path = temp_journal("ckpt");
+  ::unlink(path.c_str());
+  Journal j;
+  ASSERT_TRUE(j.open(nosync_journal(path)).ok());
+  ASSERT_TRUE(j.append_admitted(0, R"({"type":"submit"})").ok());
+  ASSERT_TRUE(j.append_completed(0).ok());
+  ASSERT_TRUE(j.append_checkpoint().ok());
+  ASSERT_TRUE(j.append_admitted(1, R"({"type":"submit","id":1})").ok());
+  j.close();
+
+  JournalScan scan;
+  ASSERT_TRUE(Journal::scan(path, &scan).ok());
+  EXPECT_FALSE(scan.torn_tail);
+  // Recovery only sees what came after the checkpoint.
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].arrival, 1u);
+  ::unlink(path.c_str());
+}
+
+TEST(Journal, TornTailEndsTheScanAndOpenTruncatesIt) {
+  const std::string path = temp_journal("torn");
+  ::unlink(path.c_str());
+  Journal j;
+  ASSERT_TRUE(j.open(nosync_journal(path)).ok());
+  ASSERT_TRUE(j.append_admitted(0, R"({"type":"submit","id":0})").ok());
+  ASSERT_TRUE(j.append_admitted(1, R"({"type":"submit","id":1})").ok());
+  j.close();
+
+  // Tear the last record the way a crash mid-write does: drop its tail.
+  struct stat st {};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(path.c_str(), st.st_size - 3), 0);
+
+  JournalScan scan;
+  ASSERT_TRUE(Journal::scan(path, &scan).ok());
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].arrival, 0u);
+  EXPECT_LT(scan.valid_bytes, scan.file_bytes);
+
+  // Reopening for append drops the torn bytes; the log stays usable.
+  ASSERT_TRUE(j.open(nosync_journal(path), scan.valid_bytes).ok());
+  ASSERT_TRUE(j.append_admitted(2, R"({"type":"flush"})").ok());
+  j.close();
+  ASSERT_TRUE(Journal::scan(path, &scan).ok());
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].arrival, 0u);
+  EXPECT_EQ(scan.records[1].arrival, 2u);
+  ::unlink(path.c_str());
+}
+
+TEST(Journal, InjectedTornWriteLooksLikeACrashMidAppend) {
+  const std::string path = temp_journal("fault");
+  ::unlink(path.c_str());
+  morph::resilience::FaultPlan plan;
+  ASSERT_TRUE(
+      morph::resilience::parse_fault_plan("journal@2", 1, &plan).ok());
+  JournalConfig cfg = nosync_journal(path);
+  cfg.faults = &plan;
+  Journal j;
+  ASSERT_TRUE(j.open(cfg).ok());
+  ASSERT_TRUE(j.append_admitted(0, R"({"type":"submit","id":0})").ok());
+  // The second append writes half a record and wedges the journal — the
+  // deterministic stand-in for dying between write() calls.
+  EXPECT_EQ(j.append_admitted(1, R"({"type":"submit","id":1})").code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(j.append_admitted(2, R"({"type":"flush"})").code(),
+            StatusCode::kIoError);
+  j.close();
+
+  JournalScan scan;
+  ASSERT_TRUE(Journal::scan(path, &scan).ok());
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 1u);
+  // A clean reopen recovers exactly the pre-crash prefix.
+  ASSERT_TRUE(j.open(nosync_journal(path), scan.valid_bytes).ok());
+  ASSERT_TRUE(j.append_admitted(1, R"({"type":"submit","id":1})").ok());
+  j.close();
+  ASSERT_TRUE(Journal::scan(path, &scan).ok());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.records.size(), 2u);
+  ::unlink(path.c_str());
+}
+
+TEST(Journal, TruncateAllResetsToMagicAndBadMagicIsLoud) {
+  const std::string path = temp_journal("trunc");
+  ::unlink(path.c_str());
+  Journal j;
+  ASSERT_TRUE(j.open(nosync_journal(path)).ok());
+  ASSERT_TRUE(j.append_admitted(0, R"({"type":"submit"})").ok());
+  ASSERT_TRUE(j.truncate_all().ok());
+  ASSERT_TRUE(j.append_admitted(5, R"({"type":"flush"})").ok());
+  j.close();
+  JournalScan scan;
+  ASSERT_TRUE(Journal::scan(path, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].arrival, 5u);
+
+  // A file that is not a journal must not be silently treated as one.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a journal", f);
+  std::fclose(f);
+  EXPECT_EQ(Journal::scan(path, &scan).code(), StatusCode::kIoError);
+  ::unlink(path.c_str());
+}
+
 // --- job model / protocol --------------------------------------------------
 
 TEST(JobModel, RequestRoundTripsThroughJson) {
@@ -366,6 +600,60 @@ TEST(Protocol, OversizedFrameLengthIsAProtocolError) {
   dec.feed(hdr, 4);
   Json msg;
   bool have = false;
+  EXPECT_EQ(dec.poll(&msg, &have).code(), StatusCode::kBadRequest);
+}
+
+// Hand-builds a frame with an arbitrary (possibly lying) length prefix.
+std::string raw_frame(std::uint32_t claimed_len, const std::string& payload) {
+  std::string wire;
+  wire.push_back(static_cast<char>(claimed_len >> 24));
+  wire.push_back(static_cast<char>(claimed_len >> 16));
+  wire.push_back(static_cast<char>(claimed_len >> 8));
+  wire.push_back(static_cast<char>(claimed_len));
+  wire += payload;
+  return wire;
+}
+
+TEST(Protocol, TruncatedHeaderJustWaitsForMoreBytes) {
+  morph::serve::FrameDecoder dec;
+  dec.feed("\x00\x00\x00", 3);  // not even a full length prefix
+  Json msg;
+  bool have = true;
+  ASSERT_TRUE(dec.poll(&msg, &have).ok());
+  EXPECT_FALSE(have);
+  // The missing byte plus a payload completes the frame normally.
+  Json hello = Json::object();
+  hello.set("type", "hello");
+  const std::string rest = morph::serve::encode_frame(hello).substr(3);
+  dec.feed(rest.data(), rest.size());
+  ASSERT_TRUE(dec.poll(&msg, &have).ok());
+  ASSERT_TRUE(have);
+  EXPECT_EQ(msg.at("type").as_string(), "hello");
+}
+
+TEST(Protocol, GarbagePayloadIsTypedAndTheStreamAdvances) {
+  // A frame whose length checks out but whose payload is not JSON must come
+  // back kBadRequest — and must be consumed, so the next frame still parses.
+  const std::string bad = "this is } not { json";
+  Json good = Json::object();
+  good.set("type", "stats");
+  morph::serve::FrameDecoder dec;
+  const std::string wire =
+      raw_frame(static_cast<std::uint32_t>(bad.size()), bad) +
+      morph::serve::encode_frame(good);
+  dec.feed(wire.data(), wire.size());
+  Json msg;
+  bool have = true;
+  EXPECT_EQ(dec.poll(&msg, &have).code(), StatusCode::kBadRequest);
+  EXPECT_FALSE(have);
+  ASSERT_TRUE(dec.poll(&msg, &have).ok());
+  ASSERT_TRUE(have);
+  EXPECT_EQ(msg.at("type").as_string(), "stats");
+
+  // Valid JSON that is not an object is just as malformed.
+  const std::string arr = "[1,2,3]";
+  dec.feed(raw_frame(static_cast<std::uint32_t>(arr.size()), arr).data(),
+           4 + arr.size());
   EXPECT_EQ(dec.poll(&msg, &have).code(), StatusCode::kBadRequest);
 }
 
@@ -581,6 +869,312 @@ TEST_F(ServeEndToEnd, AdmissionRejectsAndBadRequestsComeBackTyped) {
   ::close(raw_fd);
 
   server.request_stop();
+}
+
+TEST_F(ServeEndToEnd, MalformedFramesGetTypedErrorsAndNeverWedgeTheServer) {
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = socket_path() + ".adv";
+  morph::serve::Server server(cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  // Garbage JSON behind a correct length prefix: typed error, stream lives.
+  int fd = -1;
+  ASSERT_TRUE(morph::serve::connect_unix(cfg.socket_path, &fd).ok());
+  const std::string garbage = "}{ definitely not json";
+  const std::string wire =
+      raw_frame(static_cast<std::uint32_t>(garbage.size()), garbage);
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  Json err;
+  ASSERT_TRUE(morph::serve::read_frame(fd, &err).ok());
+  EXPECT_EQ(err.at("type").as_string(), "error");
+  EXPECT_EQ(err.at("code").as_string(), "bad-request");
+  ::close(fd);
+
+  // A length prefix claiming ~4 GB: refused as a protocol error, not
+  // treated as an allocation request.
+  ASSERT_TRUE(morph::serve::connect_unix(cfg.socket_path, &fd).ok());
+  const std::string huge = raw_frame(0xFFFFFFFFu, "");
+  ASSERT_EQ(::write(fd, huge.data(), huge.size()),
+            static_cast<ssize_t>(huge.size()));
+  ASSERT_TRUE(morph::serve::read_frame(fd, &err).ok());
+  EXPECT_EQ(err.at("type").as_string(), "error");
+  EXPECT_EQ(err.at("code").as_string(), "bad-request");
+  ::close(fd);
+
+  // A client that dies mid-frame (header promised 100 bytes, 10 arrived).
+  ASSERT_TRUE(morph::serve::connect_unix(cfg.socket_path, &fd).ok());
+  const std::string partial = raw_frame(100, "0123456789");
+  ASSERT_EQ(::write(fd, partial.data(), partial.size()),
+            static_cast<ssize_t>(partial.size()));
+  ::close(fd);
+
+  // After all that abuse a well-behaved client still gets served.
+  morph::serve::Client client;
+  ASSERT_TRUE(client.connect(cfg.socket_path).ok());
+  JobRequest r = small_job(JobKind::kSp);
+  r.id = 1;
+  ASSERT_TRUE(client.submit(r).ok());
+  ASSERT_TRUE(client.send_flush().ok());
+  Json res;
+  ASSERT_TRUE(client.next_message(&res).ok());
+  EXPECT_EQ(res.at("type").as_string(), "result");
+  EXPECT_EQ(res.at("status").as_string(), "ok");
+  server.request_stop();
+}
+
+TEST_F(ServeEndToEnd, StaleSocketFilesAreRecycledButLiveOnesAreNot) {
+  const std::string path = socket_path() + ".stale";
+  // Manufacture the corpse of a crashed server: a bound socket file whose
+  // listener is gone.
+  int dead = -1;
+  ASSERT_TRUE(morph::serve::listen_unix(path, &dead).ok());
+  ::close(dead);
+
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = path;
+  morph::serve::Server server(cfg);
+  ASSERT_TRUE(server.start().ok());  // probe says stale: unlink and rebind
+
+  // With the server alive, the same probe refuses to steal the socket...
+  int fd = -1;
+  const Status busy = morph::serve::listen_unix(path, &fd);
+  EXPECT_EQ(busy.code(), StatusCode::kIoError);
+  EXPECT_NE(busy.message().find("live server"), std::string::npos);
+  // ...and the running server is untouched by the attempt.
+  morph::serve::Client client;
+  EXPECT_TRUE(client.connect(path).ok());
+  server.request_stop();
+}
+
+TEST_F(ServeEndToEnd, RecvTimeoutIsTypedAndTheConnectionSurvives) {
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = socket_path() + ".to";
+  cfg.sched.batch_max = 8;       // nothing seals until the flush
+  cfg.sched.batch_linger = 1000;
+  morph::serve::Server server(cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  morph::serve::Client client;
+  ASSERT_TRUE(client.connect(cfg.socket_path).ok());
+  JobRequest r = small_job(JobKind::kSp);
+  r.id = 9;
+  ASSERT_TRUE(client.submit(r).ok());
+
+  client.set_recv_timeout_ms(50);
+  Json msg;
+  EXPECT_EQ(client.next_message(&msg).code(), StatusCode::kTimeout);
+
+  // The timeout did not wreck the connection: flush and collect normally.
+  client.set_recv_timeout_ms(30000);
+  ASSERT_TRUE(client.send_flush().ok());
+  ASSERT_TRUE(client.next_message(&msg).ok());
+  EXPECT_EQ(msg.at("type").as_string(), "result");
+  EXPECT_EQ(msg.at("id").as_int(), 9);
+  server.request_stop();
+}
+
+TEST_F(ServeEndToEnd, DeadlineMissesAreRejectedUpFrontWithTypedCode) {
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = socket_path() + ".dl";
+  cfg.sched.batch_max = 8;
+  cfg.sched.batch_linger = 1000;
+  morph::serve::Server server(cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  morph::serve::Client client;
+  ASSERT_TRUE(client.connect(cfg.socket_path).ok());
+  // Job 0 loads the admission bucket; job 1 declares a deadline far below
+  // the implied queueing delay and is turned away before doing any work.
+  JobRequest fill = small_job(JobKind::kSp);
+  fill.id = 0;
+  ASSERT_TRUE(client.submit(fill).ok());
+  JobRequest urgent = small_job(JobKind::kSp);
+  urgent.id = 1;
+  urgent.spec.deadline_model_ms = 1e-6;  // one virtual cycle at 1 GHz
+  ASSERT_TRUE(client.submit(urgent).ok());
+
+  Json rej;
+  ASSERT_TRUE(client.next_message(&rej).ok());
+  EXPECT_EQ(rej.at("type").as_string(), "reject");
+  EXPECT_EQ(rej.at("code").as_string(), "deadline-exceeded");
+  EXPECT_EQ(rej.at("id").as_int(), 1);
+
+  ASSERT_TRUE(client.send_flush().ok());
+  Json res;
+  ASSERT_TRUE(client.next_message(&res).ok());
+  EXPECT_EQ(res.at("type").as_string(), "result");
+  EXPECT_EQ(res.at("id").as_int(), 0);
+
+  ASSERT_TRUE(client.send_stats().ok());
+  Json stats;
+  ASSERT_TRUE(client.next_message(&stats).ok());
+  EXPECT_EQ(stats.at("deadline_exceeded").as_int(), 1);
+  server.request_stop();
+}
+
+TEST_F(ServeEndToEnd, CancelCatchesAJobStillInAnOpenBatch) {
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = socket_path() + ".cxl";
+  cfg.sched.batch_max = 8;
+  cfg.sched.batch_linger = 1000;
+  morph::serve::Server server(cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  morph::serve::Client client;
+  ASSERT_TRUE(client.connect(cfg.socket_path).ok());
+  JobRequest doomed = small_job(JobKind::kSp);
+  doomed.id = 5;
+  ASSERT_TRUE(client.submit(doomed).ok());
+  ASSERT_TRUE(client.send_cancel(5).ok());
+  Json cxl;
+  ASSERT_TRUE(client.next_message(&cxl).ok());
+  EXPECT_EQ(cxl.at("type").as_string(), "cancelled") << cxl.dump();
+  EXPECT_EQ(cxl.at("id").as_int(), 5);
+  EXPECT_TRUE(cxl.at("caught").as_bool());
+
+  // Only the surviving job produces a result.
+  JobRequest live = small_job(JobKind::kDmr);
+  live.id = 6;
+  ASSERT_TRUE(client.submit(live).ok());
+  ASSERT_TRUE(client.send_flush().ok());
+  Json res;
+  ASSERT_TRUE(client.next_message(&res).ok());
+  EXPECT_EQ(res.at("type").as_string(), "result") << res.dump();
+  EXPECT_EQ(res.at("id").as_int(), 6);
+
+  // Cancelling something unknown is answered, not ignored.
+  ASSERT_TRUE(client.send_cancel(999).ok());
+  ASSERT_TRUE(client.next_message(&cxl).ok());
+  EXPECT_EQ(cxl.at("type").as_string(), "cancelled");
+  EXPECT_FALSE(cxl.at("caught").as_bool());
+
+  ASSERT_TRUE(client.send_stats().ok());
+  Json stats;
+  ASSERT_TRUE(client.next_message(&stats).ok());
+  EXPECT_EQ(stats.at("cancelled").as_int(), 1);
+  server.request_stop();
+}
+
+TEST_F(ServeEndToEnd, JournalRecoveryFinishesInterruptedWorkByteIdentically) {
+  const std::string sock = socket_path() + ".jr";
+  const std::string wal = ::testing::TempDir() + "morph_serve_recovery_" +
+                          std::to_string(::getpid()) + ".wal";
+  ::unlink(wal.c_str());
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = sock;
+  cfg.journal.path = wal;
+  cfg.sched.batch_max = 8;       // the batch stays open: no results before
+  cfg.sched.batch_linger = 1000; // the "crash"
+  JobRequest r0 = small_job(JobKind::kSp, 3);
+  r0.id = 0;
+  JobRequest r1 = small_job(JobKind::kDmr, 4);
+  r1.id = 1;
+
+  {
+    morph::serve::Server crashed(cfg);
+    ASSERT_TRUE(crashed.start().ok());
+    morph::serve::Client c;
+    ASSERT_TRUE(c.connect(sock).ok());
+    ASSERT_TRUE(c.submit(r0, /*arrival=*/0).ok());
+    ASSERT_TRUE(c.submit(r1, /*arrival=*/1).ok());
+    // stats rides the same connection, so its answer proves both submits
+    // were admitted — and therefore journaled — before the hard stop.
+    ASSERT_TRUE(c.send_stats().ok());
+    Json st;
+    ASSERT_TRUE(c.next_message(&st).ok());
+    ASSERT_EQ(st.at("admitted").as_int(), 2);
+    crashed.request_stop();  // hard stop: no drain, no journal truncation
+    crashed.wait();
+  }
+
+  morph::serve::Server revived(cfg);
+  ASSERT_TRUE(revived.start().ok());
+  EXPECT_EQ(revived.recovered_jobs(), 2u);
+
+  // The client comes back the way a real one would: one job through the
+  // reconnect-and-resubmit helper, one as a plain stamped resubmission.
+  // Both stamps were already admitted, so they adopt the new connection
+  // instead of admitting duplicates.
+  morph::serve::Client c;
+  ASSERT_TRUE(c.connect(sock).ok());
+  ASSERT_TRUE(c.resubmit_after_failure(r0, /*arrival=*/0).ok());
+  ASSERT_TRUE(c.submit(r1, /*arrival=*/1).ok());
+  ASSERT_TRUE(c.send_flush(/*arrival=*/2).ok());
+
+  std::map<std::uint64_t, Json> results;
+  while (results.size() < 2) {
+    Json msg;
+    ASSERT_TRUE(c.next_message(&msg).ok());
+    ASSERT_EQ(msg.at("type").as_string(), "result") << msg.dump();
+    results[static_cast<std::uint64_t>(msg.at("id").as_int())] = msg;
+  }
+  // Byte-identical to an uninterrupted run: the journal replay reproduced
+  // the exact admission sequence, so execution had nothing left to chance.
+  for (const JobRequest& r : {r0, r1}) {
+    const JobOutcome direct = morph::serve::run_job(r, cfg.device);
+    const Json& res = results[r.id];
+    EXPECT_EQ(res.at("status").as_string(),
+              morph::status_code_name(direct.status.code()));
+    EXPECT_EQ(res.at("outputs").dump(), direct.outputs.dump());
+    EXPECT_EQ(res.at("exec").dump(), direct.exec.to_json().dump());
+  }
+
+  ASSERT_TRUE(c.send_stats().ok());
+  Json stats;
+  ASSERT_TRUE(c.next_message(&stats).ok());
+  EXPECT_EQ(stats.at("recoveries").as_int(), 1);
+  EXPECT_EQ(stats.at("recovered_jobs").as_int(), 2);
+  revived.request_stop();
+  ::unlink(wal.c_str());
+}
+
+TEST_F(ServeEndToEnd, DrainStopFinishesAdmittedJobsAndTruncatesTheJournal) {
+  const std::string wal = ::testing::TempDir() + "morph_serve_drain_" +
+                          std::to_string(::getpid()) + ".wal";
+  ::unlink(wal.c_str());
+  morph::serve::ServerConfig cfg;
+  cfg.socket_path = socket_path() + ".drain";
+  cfg.journal.path = wal;
+  cfg.sched.batch_max = 8;       // nothing seals on its own: the drain must
+  cfg.sched.batch_linger = 1000; // flush and finish these jobs itself
+  morph::serve::Server server(cfg);
+  ASSERT_TRUE(server.start().ok());
+
+  morph::serve::Client client;
+  ASSERT_TRUE(client.connect(cfg.socket_path).ok());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    JobRequest r = small_job(static_cast<JobKind>(i % 4), 3 + i);
+    r.id = i;
+    ASSERT_TRUE(client.submit(r).ok());
+  }
+  // Synchronize: once stats answers, all three are admitted, so the drain
+  // below cannot race the reader and bounce them with kUnavailable.
+  ASSERT_TRUE(client.send_stats().ok());
+  Json st;
+  ASSERT_TRUE(client.next_message(&st).ok());
+  ASSERT_EQ(st.at("admitted").as_int(), 3);
+
+  bool drained = false;
+  std::thread op([&] { drained = server.drain_stop(); });
+  std::map<std::uint64_t, Json> results;
+  while (results.size() < 3) {
+    Json msg;
+    ASSERT_TRUE(client.next_message(&msg).ok());
+    if (msg.at("type").as_string() != "result") continue;
+    results[static_cast<std::uint64_t>(msg.at("id").as_int())] = msg;
+  }
+  op.join();
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(server.drained_jobs(), 3u);
+  server.wait();
+
+  // The drain proved every admitted job done and every reply out, so the
+  // journal was reset to just its magic header.
+  struct stat wst {};
+  ASSERT_EQ(::stat(wal.c_str(), &wst), 0);
+  EXPECT_EQ(wst.st_size, 8);
+  ::unlink(wal.c_str());
 }
 
 }  // namespace

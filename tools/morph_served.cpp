@@ -5,11 +5,16 @@
 //                [--batch-max=N] [--batch-linger=N] [--small-job=CYCLES]
 //                [--dispatch-cycles=C] [--default-gap=CYCLES]
 //                [--host-workers=N] [--worklist-mode=M]
+//                [--journal=PATH] [--journal-fsync=always|none|N]
+//                [--drain-deadline-ms=MS] [--quarantine-threshold=N]
 //
 // Serves morph jobs (dmr / sp / pta / mst) over a unix socket until a client
-// sends "shutdown" (drains, then exits) or the process receives SIGINT /
-// SIGTERM (stops accepting, finishes queued batches, exits). Prints
-// "listening on <path>" once the socket is ready so scripts can wait for it.
+// sends "shutdown" (drains, then exits) or a signal arrives. SIGTERM is the
+// graceful path: stop accepting, finish every admitted job, emit every
+// result, checkpoint the journal, exit 0. SIGINT is the hard stop: in-flight
+// batches finish but queued, unemitted work is abandoned (with --journal the
+// next start recovers it). Prints "listening on <path>" once the socket is
+// ready so scripts can wait for it.
 #include <poll.h>
 #include <signal.h>
 #include <unistd.h>
@@ -28,9 +33,10 @@ namespace {
 
 int g_stop_pipe[2] = {-1, -1};
 
-void on_signal(int) {
-  const char b = 1;
-  // Best effort: the pipe is the only async-signal-safe wakeup we need.
+void on_signal(int sig) {
+  // Relay which signal fired — SIGTERM drains, SIGINT hard-stops. The pipe
+  // is the only async-signal-safe wakeup we need.
+  const char b = sig == SIGTERM ? 'T' : 'I';
   [[maybe_unused]] const ssize_t w = ::write(g_stop_pipe[1], &b, 1);
 }
 
@@ -44,7 +50,8 @@ int main(int argc, char** argv) {
   args.warn_unknown(
       {"socket", "pool", "workers", "queue-cap", "max-job-cycles", "batch-max",
        "batch-linger", "small-job", "dispatch-cycles", "default-gap",
-       "host-workers", "worklist-mode", "worklist-shards"},
+       "host-workers", "worklist-mode", "worklist-shards", "journal",
+       "journal-fsync", "drain-deadline-ms", "quarantine-threshold"},
       std::cerr);
 
   cfg.socket_path = args.get("socket", cfg.socket_path);
@@ -76,6 +83,19 @@ int main(int argc, char** argv) {
   }
   cfg.device.worklist_shards =
       static_cast<std::uint32_t>(args.get_int("worklist-shards", 0));
+  cfg.journal.path = args.get("journal", "");
+  const std::string fsync_policy = args.get("journal-fsync", "always");
+  if (!morph::serve::parse_fsync_policy(fsync_policy, &cfg.journal)) {
+    std::cerr << "error: --journal-fsync must be 'always', 'none', or a "
+                 "positive record count (got '"
+              << fsync_policy << "')\n";
+    return 2;
+  }
+  cfg.drain_deadline_ms =
+      args.get_double("drain-deadline-ms", cfg.drain_deadline_ms);
+  cfg.quarantine_threshold = static_cast<std::uint32_t>(
+      args.get_int("quarantine-threshold",
+                   static_cast<std::int64_t>(cfg.quarantine_threshold)));
 
   if (::pipe(g_stop_pipe) != 0) {
     std::cerr << "error: pipe: " << std::strerror(errno) << "\n";
@@ -93,13 +113,31 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << s.to_string() << "\n";
     return 1;
   }
+  if (server.recovered_jobs() > 0) {
+    std::cout << "morph-served: recovered " << server.recovered_jobs()
+              << " unfinished job(s) from " << cfg.journal.path << "\n"
+              << std::flush;
+  }
   std::cout << "listening on " << cfg.socket_path << "\n" << std::flush;
 
-  // Relay signals into a clean stop; server.wait() also returns when a
+  // Relay signals into the matching stop; server.wait() also returns when a
   // client-driven shutdown drained the queue.
-  std::thread relay([&server] {
-    char b;
+  int exit_code = 0;
+  std::thread relay([&server, &exit_code] {
+    char b = 0;
     while (::read(g_stop_pipe[0], &b, 1) < 0 && errno == EINTR) {
+    }
+    if (b == 'T') {
+      if (server.drain_stop()) {
+        std::cout << "morph-served: drained " << server.drained_jobs()
+                  << " job(s)\n"
+                  << std::flush;
+      } else {
+        std::cerr << "morph-served: drain deadline exceeded; hard stop "
+                     "(journal keeps the tail)\n";
+        exit_code = 3;
+      }
+      return;
     }
     server.request_stop();
   });
@@ -108,5 +146,5 @@ int main(int argc, char** argv) {
   on_signal(0);
   relay.join();
   std::cout << "morph-served: stopped\n";
-  return 0;
+  return exit_code;
 }
