@@ -27,7 +27,9 @@ benches=(
   "ablate_memory --triangles=10000 --vars=2000 --cons=2500"
   "ablate_pushpull"
   "ablate_worklist --triangles=10000"
+  "incremental_bench"
   "serve_loadtest --jobs=48 --clients=3 --pool=2 --deadline-every=7 --deadline-ms=0.5 --socket=/tmp/morph_snapshot_loadtest.sock"
+  "session_crash --socket=/tmp/morph_snapshot_session.sock --journal=/tmp/morph_snapshot_session.wal"
 )
 
 reports=()

@@ -183,6 +183,21 @@ if [[ "$(stat -c%s "$SMOKE/drain.wal")" -ne 8 ]]; then
   exit 1
 fi
 
+echo "== tier 1: incremental recompute (O(changes) + session durability) =="
+# incremental_bench self-gates (exit 1 on failure): digest streams for the
+# same update sequence are byte-identical across device shapes and worklist
+# modes, the final state matches a from-scratch solve, and batch cost scales
+# with the change set, not the graph (>= 100k-element inputs at the default
+# scale — docs/SERVER.md, "Sessions").
+"$BUILD"/bench/incremental_bench > /dev/null
+# session_crash self-gates too: SIGKILL a session-serving child at several
+# kill points (including mid-checkpoint-compaction), restart it on the same
+# journal, and require every session reply — digests, outputs, exec-stats
+# deltas, parked replays — byte-identical to an uninterrupted journal-less
+# run.
+"$BUILD"/bench/session_crash --socket="$SMOKE/sc.sock" \
+    --journal="$SMOKE/sc.wal" > /dev/null
+
 echo "== tier 1: perf (bench snapshot vs committed baseline) =="
 # Full CI-sized bench sweep diffed against the committed snapshot. Modeled
 # metrics are deterministic, so any drift is a real change: the default gate
@@ -205,7 +220,7 @@ fi
 if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread - -o /dev/null 2>/dev/null; then
   echo "== tier 1: TSan build + ctest -L 'gpu|core|dmr' =="
   cmake -B "$TSAN_BUILD" -S . -DMORPH_TSAN=ON
-  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr test_resilience test_sancheck test_sp test_pta test_serve
+  cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_gpu test_core test_dmr test_resilience test_sancheck test_sp test_pta test_serve test_incremental
   ctest --test-dir "$TSAN_BUILD" --output-on-failure -j "$JOBS" -L 'gpu|core|dmr'
 else
   echo "== tier 1: libtsan not available; skipping TSan pass =="

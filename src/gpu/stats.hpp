@@ -83,6 +83,32 @@ struct DeviceStats {
     modeled_cycles += k.modeled_cycles;
   }
 
+  /// Field-wise `*this - base`. A persistent device (serve sessions)
+  /// accumulates across requests; the per-request exec stats reported to
+  /// clients are the delta against the stats captured before the request.
+  DeviceStats delta_since(const DeviceStats& base) const {
+    DeviceStats d = *this;
+    d.launches -= base.launches;
+    d.barriers -= base.barriers;
+    d.total_work -= base.total_work;
+    d.warp_steps -= base.warp_steps;
+    d.atomics -= base.atomics;
+    d.global_accesses -= base.global_accesses;
+    d.modeled_cycles -= base.modeled_cycles;
+    d.device_mallocs -= base.device_mallocs;
+    d.host_allocs -= base.host_allocs;
+    d.reallocs -= base.reallocs;
+    d.bytes_allocated -= base.bytes_allocated;
+    d.bytes_copied -= base.bytes_copied;
+    d.wl_local_ops -= base.wl_local_ops;
+    d.wl_contended_ops -= base.wl_contended_ops;
+    d.wl_steals -= base.wl_steals;
+    d.wl_spills -= base.wl_spills;
+    d.faults_injected -= base.faults_injected;
+    d.faults_recovered -= base.faults_recovered;
+    return d;
+  }
+
   /// Modeled cycles spent on contended worklist index claims — the
   /// contention bill the sharded mode exists to shrink. Derived, not
   /// additive into modeled_cycles (those ops are already charged as

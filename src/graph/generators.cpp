@@ -147,6 +147,50 @@ std::vector<Edge> gen_road_like(Node num_nodes, double avg_degree,
   return edges;
 }
 
+std::vector<Edge> gen_clustered(Node num_nodes, std::uint32_t cluster,
+                                double avg_degree, Weight max_weight,
+                                std::uint64_t seed) {
+  MORPH_CHECK(num_nodes >= 2);
+  MORPH_CHECK_MSG(cluster >= 2 && cluster <= 4096 &&
+                      (cluster & (cluster - 1)) == 0,
+                  "cluster must be a power of two in [2, 4096]");
+  MORPH_CHECK(avg_degree >= 1.0 && max_weight >= 1);
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_nodes * avg_degree / 2) +
+                num_nodes);
+  const auto weight = [&] {
+    return static_cast<Weight>(1 + rng.next_below(max_weight));
+  };
+  for (Node start = 0; start < num_nodes; start += cluster) {
+    const Node end = std::min<Node>(start + cluster, num_nodes);
+    const Node size = end - start;
+    if (size < 2) continue;
+    // Backbone: each node attaches to an earlier node in its block, so the
+    // block starts connected.
+    for (Node i = start + 1; i < end; ++i) {
+      const Node j = start + static_cast<Node>(rng.next_below(i - start));
+      seen.insert(edge_key(i, j));
+      edges.push_back({i, j, weight()});
+    }
+    // Extra intra-block edges up to the target degree.
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(size * avg_degree / 2);
+    std::uint64_t attempts = 0;
+    while (edges.size() < target * (start / cluster + 1) &&
+           attempts < target * 16) {
+      ++attempts;
+      const Node a = start + static_cast<Node>(rng.next_below(size));
+      const Node b = start + static_cast<Node>(rng.next_below(size));
+      if (a == b) continue;
+      if (!seen.insert(edge_key(a, b)).second) continue;
+      edges.push_back({a, b, weight()});
+    }
+  }
+  return edges;
+}
+
 Node max_node_plus_one(const std::vector<Edge>& edges) {
   Node m = 0;
   for (const Edge& e : edges) m = std::max({m, e.src, e.dst});

@@ -38,6 +38,17 @@ std::vector<Edge> gen_grid2d(std::uint32_t side, Weight max_weight,
 std::vector<Edge> gen_road_like(Node num_nodes, double avg_degree,
                                 std::uint64_t seed);
 
+/// Clustered graph for the incremental-MST workloads: nodes are partitioned
+/// into aligned blocks of `cluster` nodes (a power of two <= 4096) and every
+/// edge stays inside its block, each block connected by a random backbone
+/// plus extra edges up to ~`avg_degree`. The alignment keeps every
+/// endpoint-pair xor under 4096, which makes mst's 64-bit edge_key
+/// collision-free — the MSF is then unique, the precondition for
+/// byte-identical incremental-vs-scratch comparisons (mst/incremental.hpp).
+std::vector<Edge> gen_clustered(Node num_nodes, std::uint32_t cluster,
+                                double avg_degree, Weight max_weight,
+                                std::uint64_t seed);
+
 /// Number of nodes an edge list spans (max endpoint + 1); convenience for
 /// generator output.
 Node max_node_plus_one(const std::vector<Edge>& edges);

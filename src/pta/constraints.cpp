@@ -47,6 +47,36 @@ ConstraintSet synthetic_program(std::uint32_t num_vars,
   return cs;
 }
 
+ConstraintSet clustered_program(std::uint32_t num_vars, std::uint32_t block,
+                                std::uint32_t cons_per_block,
+                                std::uint64_t seed) {
+  MORPH_CHECK(num_vars >= block && block >= 4);
+  Rng rng(seed);
+  ConstraintSet cs;
+  cs.num_vars = num_vars;
+  for (std::uint32_t start = 0; start < num_vars; start += block) {
+    const std::uint32_t size = std::min(block, num_vars - start);
+    if (size < 4) continue;
+    for (std::uint32_t i = 0; i < cons_per_block; ++i) {
+      const double kind_draw = rng.next_double();
+      Constraint c{};
+      c.dst = start + static_cast<Var>(rng.next_below(size));
+      c.src = start + static_cast<Var>(rng.next_below(size));
+      if (kind_draw < 0.35) {
+        c.kind = ConstraintKind::kAddressOf;
+      } else if (kind_draw < 0.75) {
+        c.kind = ConstraintKind::kCopy;
+      } else if (kind_draw < 0.875) {
+        c.kind = ConstraintKind::kLoad;
+      } else {
+        c.kind = ConstraintKind::kStore;
+      }
+      cs.constraints.push_back(c);
+    }
+  }
+  return cs;
+}
+
 const std::vector<SpecWorkload>& spec2000_workloads() {
   static const std::vector<SpecWorkload> table = {
       {"186.crafty", 6126, 6768}, {"164.gzip", 1595, 1773},

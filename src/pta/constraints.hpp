@@ -46,6 +46,16 @@ struct ConstraintSet {
 ConstraintSet synthetic_program(std::uint32_t num_vars,
                                 std::uint32_t num_cons, std::uint64_t seed);
 
+/// Block-local constraint program for the incremental-PTA workloads: vars
+/// are partitioned into blocks of `block` and every constraint stays inside
+/// its block (uniform endpoints, C-like kind mix). The points-to closure of
+/// a block is independent of the rest, so an update batch touching a few
+/// blocks resolves in O(changes) — the clustered counterpart of
+/// graph::gen_clustered (pta/incremental.hpp).
+ConstraintSet clustered_program(std::uint32_t num_vars, std::uint32_t block,
+                                std::uint32_t cons_per_block,
+                                std::uint64_t seed);
+
 /// One row of the paper's Fig. 10: benchmark name with its published
 /// variable / constraint counts.
 struct SpecWorkload {

@@ -100,6 +100,41 @@ Status Client::send_cancel(std::uint64_t id, std::int64_t arrival) {
   return send_message(m);
 }
 
+Status Client::send_session_open(const std::string& session,
+                                 const std::string& kind, std::uint64_t count,
+                                 std::uint64_t id, std::int64_t arrival) {
+  Json m = Json::object();
+  m.set("type", "session-open");
+  m.set("id", id);
+  m.set("session", session);
+  m.set("kind", kind);
+  m.set(kind == "pta" ? "vars" : "nodes", count);
+  if (arrival >= 0) m.set("arrival", static_cast<std::uint64_t>(arrival));
+  return send_message(m);
+}
+
+Status Client::send_session_update(const std::string& session,
+                                   const Json& updates, std::uint64_t id,
+                                   std::int64_t arrival) {
+  Json m = Json::object();
+  m.set("type", "session-update");
+  m.set("id", id);
+  m.set("session", session);
+  m.set("updates", updates);
+  if (arrival >= 0) m.set("arrival", static_cast<std::uint64_t>(arrival));
+  return send_message(m);
+}
+
+Status Client::send_session_close(const std::string& session, std::uint64_t id,
+                                  std::int64_t arrival) {
+  Json m = Json::object();
+  m.set("type", "session-close");
+  m.set("id", id);
+  m.set("session", session);
+  if (arrival >= 0) m.set("arrival", static_cast<std::uint64_t>(arrival));
+  return send_message(m);
+}
+
 Status Client::send_stats() {
   Json m = Json::object();
   m.set("type", "stats");

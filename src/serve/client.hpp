@@ -61,6 +61,25 @@ class Client {
   Status send_stats();
   Status send_shutdown();
 
+  /// Incremental recompute sessions (docs/SERVER.md, "Sessions"). Session
+  /// frames MUST be stamped (`arrival >= 0`): the server journals them by
+  /// stamp and rejects unstamped ones, because an unjournaled update would
+  /// silently vanish from the replayed session history after a crash.
+  /// `kind` is "mst" or "pta"; `count` is the node (mst) or variable (pta)
+  /// count. The server answers "session-opened" with the pinned slot and
+  /// the initial state digest.
+  Status send_session_open(const std::string& session, const std::string& kind,
+                           std::uint64_t count, std::uint64_t id,
+                           std::int64_t arrival);
+  /// One update batch. Rows are [op,u,v,w] for mst (op 1=insert, 0=delete)
+  /// or [kind,dst,src] for pta (kind 0..3). Answered with "session-result"
+  /// carrying the incremental outputs, exec-stats delta, and state digest.
+  Status send_session_update(const std::string& session,
+                             const telemetry::Json& updates, std::uint64_t id,
+                             std::int64_t arrival);
+  Status send_session_close(const std::string& session, std::uint64_t id,
+                            std::int64_t arrival);
+
   /// Next server message (result / reject / error / stats / bye), in arrival
   /// order. Blocks until one is available; kIoError once the connection is
   /// gone and the inbox is empty; kTimeout when a receive timeout is set

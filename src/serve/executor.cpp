@@ -56,24 +56,7 @@ double estimate_job_cycles(const JobSpec& spec) {
 namespace {
 
 void capture_exec(const gpu::Device& dev, JobExecStats* out) {
-  const gpu::DeviceStats& st = dev.stats();
-  out->launches = st.launches;
-  out->barriers = st.barriers;
-  out->total_work = st.total_work;
-  out->warp_steps = st.warp_steps;
-  out->atomics = st.atomics;
-  out->global_accesses = st.global_accesses;
-  out->device_mallocs = st.device_mallocs;
-  out->reallocs = st.reallocs;
-  out->bytes_allocated = st.bytes_allocated;
-  out->bytes_copied = st.bytes_copied;
-  out->wl_local_ops = st.wl_local_ops;
-  out->wl_contended_ops = st.wl_contended_ops;
-  out->wl_steals = st.wl_steals;
-  out->wl_spills = st.wl_spills;
-  out->faults_injected = st.faults_injected;
-  out->faults_recovered = st.faults_recovered;
-  out->modeled_cycles = st.modeled_cycles;
+  *out = JobExecStats::from_stats(dev.stats());
 }
 
 void run_dmr(const JobSpec& spec, gpu::Device& dev, JobOutcome* out) {

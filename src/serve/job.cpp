@@ -182,6 +182,28 @@ Status JobRequest::from_json(const Json& doc, JobRequest* out) {
   return Status::Ok();
 }
 
+JobExecStats JobExecStats::from_stats(const gpu::DeviceStats& st) {
+  JobExecStats out;
+  out.launches = st.launches;
+  out.barriers = st.barriers;
+  out.total_work = st.total_work;
+  out.warp_steps = st.warp_steps;
+  out.atomics = st.atomics;
+  out.global_accesses = st.global_accesses;
+  out.device_mallocs = st.device_mallocs;
+  out.reallocs = st.reallocs;
+  out.bytes_allocated = st.bytes_allocated;
+  out.bytes_copied = st.bytes_copied;
+  out.wl_local_ops = st.wl_local_ops;
+  out.wl_contended_ops = st.wl_contended_ops;
+  out.wl_steals = st.wl_steals;
+  out.wl_spills = st.wl_spills;
+  out.faults_injected = st.faults_injected;
+  out.faults_recovered = st.faults_recovered;
+  out.modeled_cycles = st.modeled_cycles;
+  return out;
+}
+
 Json JobExecStats::to_json() const {
   Json o = Json::object();
   o.set("modeled_cycles", modeled_cycles);

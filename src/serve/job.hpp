@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "gpu/stats.hpp"
 #include "support/status.hpp"
 #include "telemetry/json.hpp"
 
@@ -106,6 +107,10 @@ struct JobExecStats {
   std::uint64_t faults_injected = 0;
   std::uint64_t faults_recovered = 0;
   double modeled_cycles = 0.0;
+
+  /// Lifts a DeviceStats (or a DeviceStats::delta_since difference, for
+  /// session updates on a persistent device) into the wire shape.
+  static JobExecStats from_stats(const gpu::DeviceStats& st);
 
   telemetry::Json to_json() const;
 };

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace morph::serve {
@@ -158,11 +159,16 @@ Status Journal::scan(const std::string& path, JournalScan* out) {
       rec.type = JournalRecord::Type::kAdmitted;
       rec.arrival = get_u64be(payload + 1);
       rec.frame.assign(payload + 9, len - 9);
+    } else if (tag == 'S' && len >= 9) {
+      rec.type = JournalRecord::Type::kSession;
+      rec.arrival = get_u64be(payload + 1);
+      rec.frame.assign(payload + 9, len - 9);
     } else if (tag == 'C' && len == 9) {
       rec.type = JournalRecord::Type::kCompleted;
       rec.arrival = get_u64be(payload + 1);
-    } else if (tag == 'K' && len == 1) {
+    } else if (tag == 'K' && len >= 1) {
       rec.type = JournalRecord::Type::kCheckpoint;
+      rec.frame.assign(payload + 1, len - 1);
     } else {
       out->torn_tail = true;  // unknown/garbled payload: end of log
       break;
@@ -171,6 +177,7 @@ Status Journal::scan(const std::string& path, JournalScan* out) {
     out->valid_bytes = pos;
     if (rec.type == JournalRecord::Type::kCheckpoint) {
       last_checkpoint = out->records.size() + 1;
+      out->checkpoint_state = rec.frame;
     }
     out->records.push_back(std::move(rec));
   }
@@ -258,14 +265,52 @@ Status Journal::append_record(const std::string& payload) {
   return Status::Ok();
 }
 
-Status Journal::append_admitted(std::uint64_t arrival,
-                                const std::string& frame) {
+namespace {
+
+std::string frame_payload(char tag, std::uint64_t arrival,
+                          const std::string& frame) {
   std::string p;
   p.reserve(9 + frame.size());
-  p.push_back('A');
+  p.push_back(tag);
   put_u64be(arrival, p);
   p += frame;
-  return append_record(p);
+  return p;
+}
+
+std::string record_payload(const JournalRecord& rec) {
+  switch (rec.type) {
+    case JournalRecord::Type::kAdmitted:
+      return frame_payload('A', rec.arrival, rec.frame);
+    case JournalRecord::Type::kSession:
+      return frame_payload('S', rec.arrival, rec.frame);
+    case JournalRecord::Type::kCompleted: {
+      std::string p;
+      p.push_back('C');
+      put_u64be(rec.arrival, p);
+      return p;
+    }
+    case JournalRecord::Type::kCheckpoint:
+      return "K" + rec.frame;
+  }
+  return "K";  // unreachable
+}
+
+void encode_record(const std::string& payload, std::string& out) {
+  put_u32be(static_cast<std::uint32_t>(payload.size()), out);
+  put_u32be(crc32(payload.data(), payload.size()), out);
+  out += payload;
+}
+
+}  // namespace
+
+Status Journal::append_admitted(std::uint64_t arrival,
+                                const std::string& frame) {
+  return append_record(frame_payload('A', arrival, frame));
+}
+
+Status Journal::append_session(std::uint64_t arrival,
+                               const std::string& frame) {
+  return append_record(frame_payload('S', arrival, frame));
 }
 
 Status Journal::append_completed(std::uint64_t arrival) {
@@ -276,6 +321,44 @@ Status Journal::append_completed(std::uint64_t arrival) {
 }
 
 Status Journal::append_checkpoint() { return append_record("K"); }
+
+Status Journal::compact(const std::string& state,
+                        const std::vector<JournalRecord>& retained) {
+  if (fd_ < 0) return Status(StatusCode::kIoError, "journal not open");
+  if (failed_) {
+    return Status(StatusCode::kIoError, "journal failed (torn write)");
+  }
+  std::string bytes(kMagic, sizeof(kMagic));
+  encode_record("K" + state, bytes);  // leading checkpoint marks the compaction
+  for (const JournalRecord& rec : retained)
+    encode_record(record_payload(rec), bytes);
+
+  const std::string tmp = cfg_.path + ".compact";
+  const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) return io_error("journal compact open " + tmp);
+  Status s = write_all(tfd, bytes.data(), bytes.size());
+  // fsync before the rename regardless of policy: the rename must never
+  // become visible ahead of the bytes it points at.
+  if (s.ok() && ::fsync(tfd) != 0) s = io_error("journal compact fsync");
+  ::close(tfd);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), cfg_.path.c_str()) != 0) {
+    const Status r = io_error("journal compact rename " + cfg_.path);
+    ::unlink(tmp.c_str());
+    return r;
+  }
+  // The old fd now points at the unlinked file; reopen the compacted one
+  // for further appends.
+  ::close(fd_);
+  fd_ = ::open(cfg_.path.c_str(), O_RDWR, 0644);
+  if (fd_ < 0) return io_error("journal reopen " + cfg_.path);
+  if (::lseek(fd_, 0, SEEK_END) < 0) return io_error("journal seek");
+  since_sync_ = 0;
+  return sync();
+}
 
 Status Journal::truncate_all() {
   if (fd_ < 0) return Status(StatusCode::kIoError, "journal not open");

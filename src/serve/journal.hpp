@@ -19,11 +19,26 @@
 //   payload:
 //     'A' u64 arrival  frame-json-bytes       admitted frame (submit/flush/
 //                                             cancel), exactly as received
+//     'S' u64 arrival  frame-json-bytes       admitted *session* frame
+//                                             (session-open/-update/-close);
+//                                             kept across compaction while
+//                                             its session stays open, because
+//                                             recovery re-executes the whole
+//                                             session history to rebuild the
+//                                             persistent device state
 //     'C' u64 arrival                         completion: the reply for this
 //                                             arrival reached the writer
-//     'K'                                     checkpoint: everything before
+//     'K' state-bytes*                        checkpoint: everything before
 //                                             this record is complete AND
-//                                             emitted; recovery skips it
+//                                             emitted; recovery skips it.
+//                                             compact() writes it as the
+//                                             first record of the rewritten
+//                                             file, carrying the server's
+//                                             opaque checkpoint state (gate
+//                                             high-water mark + scheduler
+//                                             snapshot) so replay of the
+//                                             retained suffix continues the
+//                                             pre-checkpoint epoch exactly
 //
 // A crash can tear the last record (short write); scan() tolerates exactly
 // that — a record whose length prefix, payload, or checksum does not fully
@@ -59,6 +74,10 @@ struct JournalConfig {
   enum class Fsync : std::uint8_t { kNone, kAlways, kInterval };
   Fsync fsync = Fsync::kAlways;
   std::uint64_t fsync_interval = 64;  ///< records per fsync under kInterval
+  /// Completions between checkpoints. Each checkpoint compacts the journal
+  /// (rewrite-and-rename keeping only the uncompleted suffix plus open
+  /// sessions), bounding a long-lived server's journal. 0 disables.
+  std::uint64_t checkpoint_every = 4096;
   /// Optional deterministic torn-write campaign (`journal` fault class).
   /// Not owned; may be nullptr.
   const resilience::FaultPlan* faults = nullptr;
@@ -69,15 +88,23 @@ struct JournalConfig {
 bool parse_fsync_policy(const std::string& s, JournalConfig* cfg);
 
 struct JournalRecord {
-  enum class Type : std::uint8_t { kAdmitted, kCompleted, kCheckpoint };
+  enum class Type : std::uint8_t {
+    kAdmitted,
+    kSession,
+    kCompleted,
+    kCheckpoint,
+  };
   Type type = Type::kAdmitted;
   std::uint64_t arrival = 0;  ///< meaningless for kCheckpoint
-  std::string frame;          ///< raw frame JSON (kAdmitted only)
+  std::string frame;          ///< raw frame JSON (kAdmitted/kSession only)
 };
 
 /// Result of scanning a journal file.
 struct JournalScan {
-  std::vector<JournalRecord> records;  ///< valid records, in file order
+  std::vector<JournalRecord> records;  ///< records after the last checkpoint
+  /// State bytes of the last checkpoint record (empty when the journal has
+  /// no checkpoint, or a bare legacy 'K').
+  std::string checkpoint_state;
   bool torn_tail = false;       ///< the file ended inside a record
   std::uint64_t valid_bytes = 0;  ///< file prefix covered by valid records
   std::uint64_t file_bytes = 0;
@@ -102,10 +129,20 @@ class Journal {
   bool is_open() const { return fd_ >= 0; }
 
   Status append_admitted(std::uint64_t arrival, const std::string& frame);
+  Status append_session(std::uint64_t arrival, const std::string& frame);
   Status append_completed(std::uint64_t arrival);
   /// Appends a checkpoint record: every record before it is complete and
   /// its reply emitted. Recovery resumes after the last checkpoint.
   Status append_checkpoint();
+  /// Checkpoint compaction: atomically rewrites the journal as
+  /// magic | 'K'+state | `retained`, via a temp file, fsync, and rename — a
+  /// crash on either side of the rename leaves a fully valid journal. The
+  /// caller passes the opaque checkpoint state bytes (surfaced again by
+  /// scan() as `checkpoint_state`) and the records recovery still needs
+  /// (uncompleted frames plus open sessions' history, with their completion
+  /// markers), in arrival order.
+  Status compact(const std::string& state,
+                 const std::vector<JournalRecord>& retained);
   /// Drain-time truncation: the queue is empty and every reply is out, so
   /// the whole history can be dropped. Resets the file to just the magic.
   Status truncate_all();

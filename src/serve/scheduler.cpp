@@ -1,6 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -8,6 +9,34 @@
 #include "support/check.hpp"
 
 namespace morph::serve {
+
+namespace {
+
+// Big-endian u64 helpers for the checkpoint blob (doubles travel as
+// bit-cast u64s so the round-trip is exact).
+void put_u64(std::uint64_t v, std::string& out) {
+  for (int i = 56; i >= 0; i -= 8) out.push_back(static_cast<char>(v >> i));
+}
+
+bool get_u64(const std::string& in, std::size_t& pos, std::uint64_t* out) {
+  if (in.size() - pos < 8) return false;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(in[pos + i]);
+  }
+  pos += 8;
+  *out = v;
+  return true;
+}
+
+bool get_double(const std::string& in, std::size_t& pos, double* out) {
+  std::uint64_t bits = 0;
+  if (!get_u64(in, pos, &bits)) return false;
+  *out = std::bit_cast<double>(bits);
+  return true;
+}
+
+}  // namespace
 
 Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) {
   MORPH_CHECK(cfg_.pool > 0);
@@ -60,7 +89,21 @@ Scheduler::Submitted Scheduler::submit(JobKind kind, std::uint32_t priority,
   } else {
     at = 0.0;
   }
-  bucket_ = std::max(0.0, bucket_ - (at - last_at_) * cfg_.drain_rate);
+  // Drain the backlog for the elapsed virtual time, consuming deposits
+  // front-first (admission order) so every job's undrained remainder stays
+  // attributable — cancel() returns exactly that remainder. All quantities
+  // are exact in double (integer arrivals and estimates), so the piecewise
+  // subtraction equals the old single-subtraction drain bit for bit.
+  double drain = (at - last_at_) * cfg_.drain_rate;
+  while (drain > 0.0 && !deposits_.empty()) {
+    auto& front = deposits_.front();
+    const double d = std::min(front.second, drain);
+    front.second -= d;
+    bucket_ -= d;
+    drain -= d;
+    if (front.second <= 0.0) deposits_.pop_front();
+  }
+  if (deposits_.empty()) bucket_ = 0.0;
   last_at_ = at;
   saw_arrival_ = true;
 
@@ -104,6 +147,7 @@ Scheduler::Submitted Scheduler::submit(JobKind kind, std::uint32_t priority,
 
   out.accepted = true;
   bucket_ += est_cycles;
+  deposits_.emplace_back(out.seq, est_cycles);
   ++admitted_;
   jobs_.emplace(out.seq, JobEntry{kind, priority, est_cycles, at});
 
@@ -137,8 +181,19 @@ bool Scheduler::cancel(std::uint64_t seq) {
     if (jobs.empty()) open_.erase(it);
     const auto entry = jobs_.find(seq);
     MORPH_CHECK(entry != jobs_.end());
-    // Give the backlog its deposit back: a cancelled job will never drain.
-    bucket_ = std::max(0.0, bucket_ - entry->second.est_cycles);
+    // Give back what the cancelled job still holds in the bucket: only its
+    // *undrained* remainder. Refunding the full estimate would also remove
+    // cycles that other live jobs deposited (the drain since admission
+    // already consumed part of this job's deposit), leaving the backlog —
+    // and every later deadline_model_ms admission decision — skewed.
+    for (auto dit = deposits_.begin(); dit != deposits_.end(); ++dit) {
+      if (dit->first == seq) {
+        bucket_ -= dit->second;
+        deposits_.erase(dit);
+        break;
+      }
+    }
+    if (deposits_.empty()) bucket_ = 0.0;
     jobs_.erase(entry);
     ++cancelled_;
     return true;
@@ -243,6 +298,82 @@ std::vector<JobPlacement> Scheduler::advance() {
     pending_.erase(b.id);
   }
   return out;
+}
+
+std::string Scheduler::checkpoint_blob() const {
+  MORPH_CHECK_MSG(jobs_.empty() && open_.empty() && pending_.empty() &&
+                      runnable_.empty(),
+                  "scheduler checkpoint requires quiescence");
+  std::string b;
+  put_u64(next_seq_, b);
+  put_u64(next_batch_id_, b);
+  put_u64(flush_watermark_, b);
+  put_u64(placed_jobs_, b);
+  put_u64(admitted_, b);
+  put_u64(rejected_, b);
+  put_u64(deadline_rejected_, b);
+  put_u64(cancelled_, b);
+  put_u64(std::bit_cast<std::uint64_t>(last_at_), b);
+  put_u64(std::bit_cast<std::uint64_t>(bucket_), b);
+  put_u64(saw_arrival_ ? 1 : 0, b);
+  put_u64(slot_ready_.size(), b);
+  for (const double t : slot_ready_) {
+    put_u64(std::bit_cast<std::uint64_t>(t), b);
+  }
+  put_u64(deposits_.size(), b);
+  for (const auto& [seq, rem] : deposits_) {
+    put_u64(seq, b);
+    put_u64(std::bit_cast<std::uint64_t>(rem), b);
+  }
+  return b;
+}
+
+bool Scheduler::restore_blob(const std::string& blob) {
+  std::size_t pos = 0;
+  std::uint64_t next_seq = 0, next_batch = 0, watermark = 0, placed = 0;
+  std::uint64_t admitted = 0, rejected = 0, deadline_rej = 0, cancelled = 0;
+  double last_at = 0.0, bucket = 0.0;
+  std::uint64_t saw = 0, nslots = 0;
+  if (!get_u64(blob, pos, &next_seq) || !get_u64(blob, pos, &next_batch) ||
+      !get_u64(blob, pos, &watermark) || !get_u64(blob, pos, &placed) ||
+      !get_u64(blob, pos, &admitted) || !get_u64(blob, pos, &rejected) ||
+      !get_u64(blob, pos, &deadline_rej) || !get_u64(blob, pos, &cancelled) ||
+      !get_double(blob, pos, &last_at) || !get_double(blob, pos, &bucket) ||
+      !get_u64(blob, pos, &saw) || !get_u64(blob, pos, &nslots)) {
+    return false;
+  }
+  if (nslots != slot_ready_.size()) return false;  // pool resized: stay fresh
+  std::vector<double> slots(nslots, 0.0);
+  for (std::uint64_t i = 0; i < nslots; ++i) {
+    if (!get_double(blob, pos, &slots[i])) return false;
+  }
+  std::uint64_t ndeposits = 0;
+  if (!get_u64(blob, pos, &ndeposits)) return false;
+  std::deque<std::pair<std::uint64_t, double>> deposits;
+  for (std::uint64_t i = 0; i < ndeposits; ++i) {
+    std::uint64_t seq = 0;
+    double rem = 0.0;
+    if (!get_u64(blob, pos, &seq) || !get_double(blob, pos, &rem)) {
+      return false;
+    }
+    deposits.emplace_back(seq, rem);
+  }
+  if (pos != blob.size()) return false;
+
+  next_seq_ = next_seq;
+  next_batch_id_ = next_batch;
+  flush_watermark_ = watermark;
+  placed_jobs_ = placed;
+  admitted_ = admitted;
+  rejected_ = rejected;
+  deadline_rejected_ = deadline_rej;
+  cancelled_ = cancelled;
+  last_at_ = last_at;
+  bucket_ = bucket;
+  saw_arrival_ = saw != 0;
+  slot_ready_ = std::move(slots);
+  deposits_ = std::move(deposits);
+  return true;
 }
 
 }  // namespace morph::serve

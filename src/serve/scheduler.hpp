@@ -141,6 +141,21 @@ class Scheduler {
   /// returns newly placed jobs in virtual dispatch order.
   std::vector<JobPlacement> advance();
 
+  /// Serializes the scheduler's residual state (virtual clock, admission
+  /// counters, leaky-bucket deposits, slot ready times) into a byte-stable
+  /// blob for a journal checkpoint. Only valid at *quiescence* — no admitted
+  /// job awaiting seal, execution, or placement (MORPH_CHECKed): at that
+  /// point this blob plus the post-checkpoint arrival suffix reproduces
+  /// every later decision, which is what lets checkpoint compaction drop
+  /// the completed journal prefix without breaking replay byte-identity.
+  std::string checkpoint_blob() const;
+
+  /// Restores a checkpoint_blob() snapshot into a freshly constructed
+  /// scheduler. Returns false (leaving the scheduler fresh) on a malformed
+  /// blob or a pool-size mismatch — an operator who resizes the pool across
+  /// a restart opts out of cross-restart continuity.
+  bool restore_blob(const std::string& blob);
+
   // --- introspection ---
   const SchedulerConfig& config() const { return cfg_; }
   std::uint64_t admitted() const { return admitted_; }
@@ -181,6 +196,12 @@ class Scheduler {
   double last_at_ = 0.0;
   double bucket_ = 0.0;
   bool saw_arrival_ = false;
+  /// Live leaky-bucket deposits in admission order: (seq, remaining
+  /// cycles). bucket_ caches their sum. Drain consumes front-first, so a
+  /// cancel can subtract exactly the cancelled job's *undrained* remainder —
+  /// refunding the full estimate would eat into other live jobs' deposits
+  /// and skew the backlog the deadline_model_ms admission check reads.
+  std::deque<std::pair<std::uint64_t, double>> deposits_;
 
   std::map<std::uint64_t, JobEntry> jobs_;  ///< admitted, not yet placed
   /// Open batches keyed by (priority, kind) — the batching compatibility

@@ -16,6 +16,28 @@ namespace morph::serve {
 
 using telemetry::Json;
 
+namespace {
+
+// Big-endian u64 head of the checkpoint state blob (the arrival-gate
+// high-water mark; the rest is the scheduler's own snapshot encoding).
+void put_u64be(std::uint64_t v, std::string& out) {
+  for (int i = 56; i >= 0; i -= 8) out.push_back(static_cast<char>(v >> i));
+}
+
+std::uint64_t get_u64be(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+bool is_session_type(const std::string& t) {
+  return t == "session-open" || t == "session-update" || t == "session-close";
+}
+
+}  // namespace
+
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), sched_(cfg_.sched) {
   if (cfg_.workers == 0) cfg_.workers = cfg_.sched.pool;
   quarantine_ = QuarantinePool(cfg_.sched.pool, cfg_.quarantine_threshold);
@@ -141,8 +163,23 @@ bool Server::drain_stop() {
     if (c->open.load()) flush_conn(c);
   }
   if (journal_enabled_) {
-    std::lock_guard<std::mutex> jlk(journal_mu_);
-    (void)journal_.truncate_all();
+    // With sessions still open their state must survive the restart, so the
+    // drain ends in a forced checkpoint (keeping the sessions' history)
+    // instead of the usual truncation.
+    bool keep_sessions;
+    {
+      std::lock_guard<std::mutex> jlk(journal_mu_);
+      keep_sessions = !open_session_names_.empty();
+    }
+    if (keep_sessions) {
+      std::lock_guard<std::mutex> emit_lk(emit_mu_);
+      maybe_checkpoint_locked(true);
+    } else {
+      std::lock_guard<std::mutex> jlk(journal_mu_);
+      (void)journal_.truncate_all();
+      retained_.clear();
+      completions_since_checkpoint_ = 0;
+    }
   }
   request_stop();
   return true;
@@ -267,6 +304,10 @@ void Server::handle_message(const std::shared_ptr<Conn>& conn,
     handle_cancel(conn, msg, arrival);
     return;
   }
+  if (is_session_type(t)) {
+    handle_session(conn, msg, arrival, t);
+    return;
+  }
   if (t == "hello") {
     Json r = Json::object();
     r.set("type", "hello");
@@ -283,6 +324,9 @@ void Server::handle_message(const std::shared_ptr<Conn>& conn,
       work_cv_.notify_all();
     }
     emit_ready();
+    // Flush is idempotent at quiescence, but marking it completed lets
+    // compaction drop the frame once its sealing effect is snapshotted.
+    inline_completed(arrival);
     return;
   }
   if (t == "stats") {
@@ -301,10 +345,24 @@ void Server::handle_message(const std::shared_ptr<Conn>& conn,
     }
     emit_ready();
     // Clean, drained shutdown: every reply is out, so the journal history
-    // is dead weight — drop it and the next start recovers nothing.
+    // is dead weight — drop it and the next start recovers nothing. Open
+    // sessions are the exception: their state must survive the restart, so
+    // they force a final checkpoint instead.
     if (journal_enabled_) {
-      std::lock_guard<std::mutex> jlk(journal_mu_);
-      (void)journal_.truncate_all();
+      bool keep_sessions;
+      {
+        std::lock_guard<std::mutex> jlk(journal_mu_);
+        keep_sessions = !open_session_names_.empty();
+      }
+      if (keep_sessions) {
+        std::lock_guard<std::mutex> emit_lk(emit_mu_);
+        maybe_checkpoint_locked(true, arrival);
+      } else {
+        std::lock_guard<std::mutex> jlk(journal_mu_);
+        (void)journal_.truncate_all();
+        retained_.clear();
+        completions_since_checkpoint_ = 0;
+      }
     }
     Json bye = Json::object();
     bye.set("type", "bye");
@@ -335,8 +393,11 @@ void Server::handle_submit(const std::shared_ptr<Conn>& conn,
     err.set("code", status_code_name(parsed.code()));
     err.set("message", parsed.message());
     reply(conn, arrival, err);
-    std::lock_guard<std::mutex> lk(mu_);
-    ++bad_requests_;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++bad_requests_;
+    }
+    inline_completed(arrival);
     return;
   }
   if (draining_.load()) {
@@ -347,6 +408,7 @@ void Server::handle_submit(const std::shared_ptr<Conn>& conn,
     rej.set("code", status_code_name(StatusCode::kUnavailable));
     rej.set("message", "server is draining");
     reply(conn, arrival, rej);
+    inline_completed(arrival);
     return;
   }
 
@@ -375,6 +437,9 @@ void Server::handle_submit(const std::shared_ptr<Conn>& conn,
     rej.set("code", status_code_name(sub.reject.code()));
     rej.set("message", sub.reject.message());
     reply(conn, arrival, rej);
+    // A rejected submit is terminal: mark it completed so compaction drops
+    // the frame instead of re-running the (already-snapshotted) rejection.
+    inline_completed(arrival);
   }
 }
 
@@ -387,8 +452,11 @@ void Server::handle_cancel(const std::shared_ptr<Conn>& conn, const Json& msg,
     err.set("code", status_code_name(StatusCode::kBadRequest));
     err.set("message", "cancel.id must be a number");
     reply(conn, arrival, err);
-    std::lock_guard<std::mutex> lk(mu_);
-    ++bad_requests_;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++bad_requests_;
+    }
+    inline_completed(arrival);
     return;
   }
   const auto target = static_cast<std::uint64_t>(id->as_int());
@@ -411,6 +479,134 @@ void Server::handle_cancel(const std::shared_ptr<Conn>& conn, const Json& msg,
   r.set("id", target);
   r.set("caught", caught);  // false: sealed already, the result still comes
   reply(conn, arrival, r);
+  inline_completed(arrival);
+}
+
+void Server::handle_session(const std::shared_ptr<Conn>& conn, const Json& msg,
+                            std::uint64_t arrival, const std::string& t) {
+  std::uint64_t id = 0;
+  bool has_id = false;
+  if (const Json* idj = msg.find("id"); idj != nullptr && idj->is_number()) {
+    id = static_cast<std::uint64_t>(idj->as_int());
+    has_id = true;
+  }
+  const auto error_frame = [&](StatusCode code, const std::string& m) {
+    Json err = Json::object();
+    err.set("type", "error");
+    if (has_id) err.set("id", id);
+    err.set("code", status_code_name(code));
+    err.set("message", m);
+    return err;
+  };
+  if (arrival == kNoArrival) {
+    // An unstamped session frame would never reach the journal, so a crash
+    // would silently drop it from the replayed session history; insist on
+    // the gate.
+    reply(conn, arrival,
+          error_frame(StatusCode::kBadRequest,
+                      t + " frames must carry an arrival stamp"));
+    std::lock_guard<std::mutex> lk(mu_);
+    ++bad_requests_;
+    return;
+  }
+
+  // From here on the frame is journaled: every exit marks completion so
+  // recovery can tell replied frames from interrupted ones.
+  Json r;
+  bool bad = false;
+  const Json* sj = msg.find("session");
+  const std::string sname =
+      sj != nullptr && sj->is_string() ? sj->as_string() : "";
+  if (sname.empty()) {
+    r = error_frame(StatusCode::kBadRequest,
+                    t + ".session must be a non-empty string");
+    bad = true;
+  } else if (draining_.load() && t != "session-close") {
+    // Draining: no new sessions, no new work; closes still land so clients
+    // can wind down cleanly.
+    r = Json::object();
+    r.set("type", "reject");
+    if (has_id) r.set("id", id);
+    r.set("code", status_code_name(StatusCode::kUnavailable));
+    r.set("message", "server is draining");
+  } else if (t == "session-open") {
+    if (sessions_.count(sname) != 0) {
+      r = error_frame(StatusCode::kBadRequest,
+                      "session \"" + sname + "\" is already open");
+      bad = true;
+    } else {
+      // The pinned slot is a pure function of the open frame's arrival
+      // stamp, so it survives recovery — and compaction — unchanged.
+      const auto slot = static_cast<std::uint32_t>(arrival % cfg_.sched.pool);
+      std::unique_ptr<Session> sess;
+      const Status s = Session::Open(msg, slot, cfg_.device, &sess);
+      if (!s.ok()) {
+        r = error_frame(s.code(), s.message());
+        bad = true;
+      } else {
+        r = Json::object();
+        r.set("type", "session-opened");
+        if (has_id) r.set("id", id);
+        r.set("session", sname);
+        r.set("kind", sess->kind());
+        r.set("slot", static_cast<std::int64_t>(slot));
+        r.set("digest", sess->digest_hex());
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          sessions_.emplace(sname, std::move(sess));
+          ++sessions_opened_;
+        }
+        std::lock_guard<std::mutex> jlk(journal_mu_);
+        open_session_names_.insert(sname);
+      }
+    }
+  } else {
+    Session* sess = nullptr;
+    if (const auto it = sessions_.find(sname); it != sessions_.end()) {
+      sess = it->second.get();
+    }
+    if (sess == nullptr) {
+      r = error_frame(StatusCode::kBadRequest,
+                      "unknown session \"" + sname + "\"");
+      bad = true;
+    } else if (t == "session-update") {
+      r = Json::object();
+      r.set("type", "session-result");
+      if (has_id) r.set("id", id);
+      r.set("session", sname);
+      // Inline execution on the persistent device; the arrival gate is the
+      // serialization, so no server lock is held across the launch.
+      const Status s = sess->Update(msg, &r);
+      if (!s.ok()) {
+        r = error_frame(s.code(), s.message());
+        bad = true;
+      } else {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++session_updates_;
+      }
+    } else {  // session-close
+      r = Json::object();
+      r.set("type", "session-closed");
+      if (has_id) r.set("id", id);
+      r.set("session", sname);
+      r.set("updates", sess->updates_applied());
+      r.set("digest", sess->digest_hex());
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        sessions_.erase(sname);
+      }
+      // Dropping the name here lets journal_completed and the next
+      // compaction retire this session's whole journaled history.
+      std::lock_guard<std::mutex> jlk(journal_mu_);
+      open_session_names_.erase(sname);
+    }
+  }
+  reply(conn, arrival, r);
+  if (bad) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++bad_requests_;
+  }
+  inline_completed(arrival);
 }
 
 Status Server::recover_from_journal() {
@@ -421,7 +617,9 @@ Status Server::recover_from_journal() {
   s = journal_.open(cfg_.journal, scan.valid_bytes);
   if (!s.ok()) return s;
   journal_enabled_ = true;
-  if (scan.records.empty()) return Status::Ok();
+  if (scan.records.empty() && scan.checkpoint_state.empty()) {
+    return Status::Ok();
+  }
 
   // Replay. No serving thread exists yet, so this runs the normal admission
   // path single-threaded: every journaled frame goes back through
@@ -429,18 +627,30 @@ Status Server::recover_from_journal() {
   // replies land in replayed_replies_ for resubmitting clients to collect,
   // and re-admitted jobs execute once the workers spawn. Completed frames
   // are replayed too: their measured cycles feed the placement of
-  // everything after them.
+  // everything after them. A checkpoint's state bytes restore the epoch the
+  // retained suffix was recorded in: the arrival-gate high-water mark plus
+  // the scheduler snapshot taken at compaction quiescence.
   recoveries_ = 1;
-  std::set<std::uint64_t> completed;
+  std::uint64_t gate_floor = 0;
+  if (scan.checkpoint_state.size() >= 8) {
+    gate_floor = get_u64be(scan.checkpoint_state.data());
+    // A failed restore (e.g. the pool was resized across the restart) keeps
+    // the fresh scheduler: continuity is forfeited, correctness is not.
+    (void)sched_.restore_blob(scan.checkpoint_state.substr(8));
+  }
+  in_recovery_ = true;
   for (const JournalRecord& r : scan.records) {
-    if (r.type == JournalRecord::Type::kCompleted) completed.insert(r.arrival);
+    if (r.type == JournalRecord::Type::kCompleted) {
+      recovery_completed_.insert(r.arrival);
+    }
   }
   std::uint64_t max_arrival = 0;
   bool any = false;
   for (const JournalRecord& r : scan.records) {
-    if (r.type != JournalRecord::Type::kAdmitted) continue;
+    if (r.type == JournalRecord::Type::kCheckpoint) continue;
     max_arrival = any ? std::max(max_arrival, r.arrival) : r.arrival;
     any = true;
+    if (r.type == JournalRecord::Type::kCompleted) continue;
     Json msg;
     try {
       msg = Json::parse(r.frame);
@@ -450,13 +660,33 @@ Status Server::recover_from_journal() {
     const Json* type = msg.find("type");
     const std::string t =
         type != nullptr && type->is_string() ? type->as_string() : "";
+    if (r.type == JournalRecord::Type::kSession) {
+      if (!is_session_type(t)) continue;
+      std::string sname;
+      if (const Json* sj = msg.find("session");
+          sj != nullptr && sj->is_string()) {
+        sname = sj->as_string();
+      }
+      retained_.emplace(r.arrival,
+                        RetainedRec{true, r.frame, std::move(sname),
+                                    recovery_completed_.count(r.arrival) > 0});
+      handle_message(nullptr, msg, r.arrival);
+      continue;
+    }
     // Lifecycle frames (hello/stats/shutdown) are conversational, never
     // journaled; tolerate them anyway in case of an old or hand-built log.
     if (t != "submit" && t != "flush" && t != "cancel") continue;
-    if (t == "submit" && completed.count(r.arrival) == 0) ++recovered_jobs_;
+    if (recovery_completed_.count(r.arrival) == 0) {
+      if (t == "submit") ++recovered_jobs_;
+      retained_.emplace(r.arrival, RetainedRec{false, r.frame, "", false});
+    }
     handle_message(nullptr, msg, r.arrival);
   }
-  if (any) next_arrival_ = max_arrival + 1;
+  in_recovery_ = false;
+  recovery_completed_.clear();
+  recovered_sessions_ = sessions_.size();
+  next_arrival_ =
+      std::max(gate_floor, any ? max_arrival + 1 : std::uint64_t{0});
   return Status::Ok();
 }
 
@@ -515,14 +745,36 @@ void Server::reply(const std::shared_ptr<Conn>& conn, std::uint64_t arrival,
 
 void Server::journal_admitted(std::uint64_t arrival, const Json& msg) {
   if (!journal_enabled_) return;
+  const Json* type = msg.find("type");
+  const std::string t =
+      type != nullptr && type->is_string() ? type->as_string() : "";
+  const bool session = is_session_type(t);
+  std::string sname;
+  if (session) {
+    if (const Json* sj = msg.find("session");
+        sj != nullptr && sj->is_string()) {
+      sname = sj->as_string();
+    }
+  }
+  // Only frames recovery replays are worth retaining across compaction;
+  // stamped conversational frames (hello/stats) are journaled for the
+  // arrival-sequence record but dropped at the first checkpoint.
+  const bool replayable =
+      session || t == "submit" || t == "flush" || t == "cancel";
+  std::string frame = msg.dump();
   std::lock_guard<std::mutex> lk(journal_mu_);
-  const Status s = journal_.append_admitted(arrival, msg.dump());
+  const Status s = session ? journal_.append_session(arrival, frame)
+                           : journal_.append_admitted(arrival, frame);
   if (!s.ok()) {
     if (journal_errors_ == 0) {
       std::fprintf(stderr, "morph-served: journal append failed: %s\n",
                    s.message().c_str());
     }
     ++journal_errors_;
+  }
+  if (replayable) {
+    retained_.emplace(arrival, RetainedRec{session, std::move(frame),
+                                           std::move(sname), false});
   }
 }
 
@@ -537,6 +789,105 @@ void Server::journal_completed(std::uint64_t arrival) {
     }
     ++journal_errors_;
   }
+  // Compaction bookkeeping: a completed job frame is dead weight (its
+  // scheduler effects live in the next checkpoint's snapshot); a completed
+  // session frame stays while its session is open, because recovery
+  // re-executes the whole history to rebuild the persistent state.
+  const auto it = retained_.find(arrival);
+  if (it != retained_.end()) {
+    if (!it->second.session ||
+        open_session_names_.count(it->second.session_name) == 0) {
+      retained_.erase(it);
+    } else {
+      it->second.completed = true;
+    }
+  }
+  ++completions_since_checkpoint_;
+}
+
+void Server::inline_completed(std::uint64_t arrival) {
+  if (in_recovery_ && recovery_completed_.count(arrival) > 0) {
+    return;  // the pre-crash process already marked it; replay was state-only
+  }
+  journal_completed(arrival);
+  if (in_recovery_) return;
+  std::lock_guard<std::mutex> emit_lk(emit_mu_);
+  maybe_checkpoint_locked(false, arrival);
+}
+
+void Server::maybe_checkpoint_locked(bool force, std::uint64_t floor_hint) {
+  if (!journal_enabled_ || in_recovery_) return;
+  {
+    std::lock_guard<std::mutex> jlk(journal_mu_);
+    const std::uint64_t every = cfg_.journal.checkpoint_every;
+    if (!force && (every == 0 || completions_since_checkpoint_ < every)) {
+      return;
+    }
+  }
+  // Snapshot only at quiescence: with no admitted job awaiting execution or
+  // emission, the scheduler blob plus the frames still in retained_ (all
+  // admitted at or after this instant, or part of an open session's
+  // history) reproduces every later decision. Holding emit_mu_ keeps any
+  // emission's "job erased from job_ctx_ / completion journaled" pair from
+  // straddling the snapshot.
+  std::string state;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!job_ctx_.empty() || !outcomes_.empty() || !exec_queue_.empty() ||
+        executing_ != 0) {
+      return;  // in-flight work: try again at a later completion
+    }
+    state = sched_.checkpoint_blob();
+  }
+  {
+    std::lock_guard<std::mutex> olk(order_mu_);
+    // The triggering frame is fully applied (its effects are in the blob),
+    // but its reader may not have bumped next_arrival_ yet — snapshot the
+    // gate as if it had, or the restart blocks waiting for a stamp the
+    // pre-crash process already consumed.
+    std::uint64_t floor = next_arrival_;
+    if (floor_hint != kNoArrival && floor_hint + 1 > floor) {
+      floor = floor_hint + 1;
+    }
+    std::string head;
+    put_u64be(floor, head);
+    state.insert(0, head);
+  }
+  std::lock_guard<std::mutex> jlk(journal_mu_);
+  std::vector<JournalRecord> kept;
+  kept.reserve(retained_.size());
+  for (auto it = retained_.begin(); it != retained_.end();) {
+    const RetainedRec& r = it->second;
+    if (r.completed &&
+        (!r.session || open_session_names_.count(r.session_name) == 0)) {
+      it = retained_.erase(it);  // a retired (closed) session's history
+      continue;
+    }
+    JournalRecord rec;
+    rec.type = r.session ? JournalRecord::Type::kSession
+                         : JournalRecord::Type::kAdmitted;
+    rec.arrival = it->first;
+    rec.frame = r.frame;
+    kept.push_back(std::move(rec));
+    if (r.completed) {
+      JournalRecord done;
+      done.type = JournalRecord::Type::kCompleted;
+      done.arrival = it->first;
+      kept.push_back(std::move(done));
+    }
+    ++it;
+  }
+  const Status s = journal_.compact(state, kept);
+  if (!s.ok()) {
+    if (journal_errors_ == 0) {
+      std::fprintf(stderr, "morph-served: journal compaction failed: %s\n",
+                   s.message().c_str());
+    }
+    ++journal_errors_;
+    return;
+  }
+  completions_since_checkpoint_ = 0;
+  ++compactions_;
 }
 
 Json Server::stats_json() {
@@ -558,12 +909,17 @@ Json Server::stats_json() {
   o.set("recoveries", recoveries_);
   o.set("recovered_jobs", recovered_jobs_);
   o.set("drained_jobs", drained_jobs_);
+  o.set("sessions_open", static_cast<std::uint64_t>(sessions_.size()));
+  o.set("sessions_opened", sessions_opened_);
+  o.set("session_updates", session_updates_);
+  o.set("recovered_sessions", recovered_sessions_);
   o.set("pool", static_cast<std::int64_t>(cfg_.sched.pool));
   o.set("workers", static_cast<std::int64_t>(cfg_.workers));
   {
     std::lock_guard<std::mutex> jlk(journal_mu_);
     o.set("journal_records", journal_.records_appended());
     o.set("journal_errors", journal_errors_);
+    o.set("compactions", compactions_);
   }
   return o;
 }
@@ -674,6 +1030,7 @@ void Server::emit_ready() {
       ++results_emitted_;
     }
   }
+  std::uint64_t floor_hint = kNoArrival;
   for (const Emission& e : emissions) {
     if (e.conn != nullptr) send(e.conn, e.frame);
     // Completion marker only after the reply is handed to the writer (or
@@ -681,7 +1038,12 @@ void Server::emit_ready() {
     // crash after it replays too — 'C' only trims the recovered_jobs count,
     // never the replay itself.
     journal_completed(e.arrival);
+    if (e.arrival != kNoArrival &&
+        (floor_hint == kNoArrival || e.arrival > floor_hint)) {
+      floor_hint = e.arrival;
+    }
   }
+  maybe_checkpoint_locked(false, floor_hint);
 }
 
 void Server::send(const std::shared_ptr<Conn>& conn, const Json& msg) {

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "serve/executor.hpp"
 #include "serve/journal.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/session.hpp"
 #include "support/status.hpp"
 
 namespace morph::serve {
@@ -122,6 +124,13 @@ class Server {
                      const telemetry::Json& msg, std::uint64_t arrival);
   void handle_cancel(const std::shared_ptr<Conn>& conn,
                      const telemetry::Json& msg, std::uint64_t arrival);
+  /// session-open / session-update / session-close. Executed inline: the
+  /// arrival gate already serializes stamped frames, and a session's
+  /// persistent device must never be handed to racing pool workers
+  /// (serve/session.hpp).
+  void handle_session(const std::shared_ptr<Conn>& conn,
+                      const telemetry::Json& msg, std::uint64_t arrival,
+                      const std::string& type);
   /// A frame whose stamp the gate already admitted — a client resubmitting
   /// after a server crash. Answered idempotently: stored replayed reply,
   /// re-attachment to the still-running replayed job, or a silent no-op for
@@ -141,6 +150,28 @@ class Server {
   /// journal_errors).
   void journal_admitted(std::uint64_t arrival, const telemetry::Json& msg);
   void journal_completed(std::uint64_t arrival);
+  /// Completion marker for a frame answered inline — session frames, flush,
+  /// cancel, and rejected submits, whose replies never pass through
+  /// emit_ready. Like journal_completed, but suppressed for frames the
+  /// pre-crash process already completed (recovery replay re-executes them
+  /// for state only), and followed by a compaction check. Without this a
+  /// flush or reject would be retained forever and re-applied on top of a
+  /// checkpoint snapshot that already contains its effect.
+  void inline_completed(std::uint64_t arrival);
+  /// Checkpoint compaction (docs/SERVER.md, "Durability & operations"):
+  /// once checkpoint_every completions have accumulated and the server is
+  /// quiescent (no admitted job awaiting execution or emission), snapshots
+  /// the arrival gate + scheduler into a 'K' record and rewrites the journal
+  /// down to that record plus the frames recovery still needs — uncompleted
+  /// frames and open sessions' history. `force` compacts regardless of the
+  /// completion count (the graceful-drain path uses it to persist open
+  /// sessions). `floor_hint` is the arrival of the frame whose completion
+  /// triggered the checkpoint: completion can run inside handle_message,
+  /// before the reader loop bumps next_arrival_, so the snapshotted gate
+  /// floor must be raised to hint + 1 or a restart would wait forever for a
+  /// stamp it already consumed. Caller must hold emit_mu_ and nothing else.
+  void maybe_checkpoint_locked(bool force,
+                               std::uint64_t floor_hint = kNoArrival);
   telemetry::Json stats_json();
   /// Runs the virtual placement as far as it goes and streams the newly
   /// final results, in virtual dispatch order. Callers must NOT hold
@@ -178,12 +209,42 @@ class Server {
   std::uint64_t recovered_jobs_ = 0;  ///< incomplete jobs re-admitted
   std::uint64_t drained_jobs_ = 0;    ///< results emitted by drain_stop()
 
+  /// Open sessions by name. Mutations happen only on the gate-serialized
+  /// frame path (or single-threaded recovery); mu_ guards the map structure
+  /// so stats_json can read counts concurrently. Session *execution* holds
+  /// no server lock — the gate is the serialization.
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+  std::uint64_t sessions_opened_ = 0;
+  std::uint64_t session_updates_ = 0;    ///< update frames applied
+  std::uint64_t recovered_sessions_ = 0; ///< sessions rebuilt by recovery
+
   /// Journal state. Ordered after mu_ (journal_admitted is called with no
   /// lock held; journal_completed from emit_ready after mu_ released).
   std::mutex journal_mu_;
   Journal journal_;
   bool journal_enabled_ = false;
   std::uint64_t journal_errors_ = 0;
+
+  /// Compaction bookkeeping (guarded by journal_mu_): every journaled frame
+  /// recovery could still need. Completed 'A' entries drop immediately
+  /// (their scheduler effects live in the next checkpoint's snapshot);
+  /// completed 'S' entries stay while their session is open, because
+  /// recovery re-executes the whole session history to rebuild state.
+  struct RetainedRec {
+    bool session = false;      ///< 'S' record (vs 'A')
+    std::string frame;         ///< raw frame JSON
+    std::string session_name;  ///< session records only
+    bool completed = false;
+  };
+  std::map<std::uint64_t, RetainedRec> retained_;  ///< by arrival stamp
+  std::set<std::string> open_session_names_;  ///< journal_mu_ mirror of sessions_
+  std::uint64_t completions_since_checkpoint_ = 0;
+  std::uint64_t compactions_ = 0;
+
+  /// True while recover_from_journal replays; suppresses compaction and
+  /// duplicate completion markers for frames in recovery_completed_.
+  bool in_recovery_ = false;
+  std::set<std::uint64_t> recovery_completed_;
 
   /// Serializes emission so results leave in virtual dispatch order even
   /// when several workers finish simultaneously. Ordered before mu_.

@@ -11,12 +11,48 @@ double DiffThresholds::threshold_for(const std::string& metric) const {
   return default_rel;
 }
 
+double DiffThresholds::abs_threshold_for(const std::string& metric) const {
+  for (const auto& [name, abs] : per_metric_abs) {
+    if (name == metric) return abs;
+  }
+  return default_abs;
+}
+
 bool DiffThresholds::gates(const std::string& metric) const {
   for (const std::string& g : gated) {
     if (g == metric) return true;
   }
   return false;
 }
+
+namespace {
+
+// One changed metric (caller guarantees cval != bval). A zero baseline
+// makes the relative change +-inf whatever the magnitude, so the gate
+// falls back to the absolute threshold there; rel_change keeps the inf for
+// display.
+MetricDelta make_delta(const std::string& row, const std::string& metric,
+                       double bval, double cval,
+                       const DiffThresholds& thresholds) {
+  MetricDelta d;
+  d.row = row;
+  d.metric = metric;
+  d.base = bval;
+  d.current = cval;
+  d.gated = thresholds.gates(metric);
+  if (bval != 0.0) {
+    d.rel_change = (cval - bval) / bval;
+    d.regression =
+        d.gated && d.rel_change > thresholds.threshold_for(metric);
+  } else {
+    d.rel_change = cval > bval ? std::numeric_limits<double>::infinity()
+                               : -std::numeric_limits<double>::infinity();
+    d.regression = d.gated && cval > thresholds.abs_threshold_for(metric);
+  }
+  return d;
+}
+
+}  // namespace
 
 DiffResult diff_reports(const BenchReport& base, const BenchReport& current,
                         const DiffThresholds& thresholds) {
@@ -47,19 +83,7 @@ DiffResult diff_reports(const BenchReport& base, const BenchReport& current,
       }
       const double cval = *cptr;
       if (cval == bval) continue;
-      MetricDelta d;
-      d.row = brow.name;
-      d.metric = metric;
-      d.base = bval;
-      d.current = cval;
-      d.rel_change = bval != 0.0
-                         ? (cval - bval) / bval
-                         : (cval > bval
-                                ? std::numeric_limits<double>::infinity()
-                                : -std::numeric_limits<double>::infinity());
-      d.gated = thresholds.gates(metric);
-      d.regression =
-          d.gated && d.rel_change > thresholds.threshold_for(metric);
+      MetricDelta d = make_delta(brow.name, metric, bval, cval, thresholds);
       out.regressed = out.regressed || d.regression;
       out.deltas.push_back(std::move(d));
     }
@@ -91,19 +115,7 @@ DiffResult diff_reports(const BenchReport& base, const BenchReport& current,
       }
       const double cval = *cptr;
       if (cval == bval) continue;
-      MetricDelta d;
-      d.row = "(serve)";
-      d.metric = metric;
-      d.base = bval;
-      d.current = cval;
-      d.rel_change = bval != 0.0
-                         ? (cval - bval) / bval
-                         : (cval > bval
-                                ? std::numeric_limits<double>::infinity()
-                                : -std::numeric_limits<double>::infinity());
-      d.gated = thresholds.gates(metric);
-      d.regression =
-          d.gated && d.rel_change > thresholds.threshold_for(metric);
+      MetricDelta d = make_delta("(serve)", metric, bval, cval, thresholds);
       out.regressed = out.regressed || d.regression;
       out.deltas.push_back(std::move(d));
     }

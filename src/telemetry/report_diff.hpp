@@ -21,6 +21,15 @@ struct DiffThresholds {
   double default_rel = 0.02;
   /// Per-metric overrides, e.g. {"modeled_cycles", 0.05}.
   std::vector<std::pair<std::string, double>> per_metric;
+  /// Absolute fallback for a zero baseline, where a relative threshold is
+  /// meaningless (any increase is +inf percent). A gated metric growing
+  /// from 0 regresses only when it grows by more than this. The default 0
+  /// keeps zero-baselines strict — health counters (poisonings, deadline
+  /// misses) must never grow — while letting CI grant slack explicitly
+  /// (--threshold-abs=N) instead of tripping on 0 -> epsilon.
+  double default_abs = 0.0;
+  /// Per-metric absolute overrides, consulted only for zero baselines.
+  std::vector<std::pair<std::string, double>> per_metric_abs;
   /// Metrics that can fail the diff. Everything else (wall_seconds, ...) is
   /// compared for the report but never regresses.
   /// Serve-section latency percentiles are modeled cycles (deterministic),
@@ -37,6 +46,7 @@ struct DiffThresholds {
       "deadline_exceeded"};
 
   double threshold_for(const std::string& metric) const;
+  double abs_threshold_for(const std::string& metric) const;
   bool gates(const std::string& metric) const;
 };
 
@@ -45,7 +55,9 @@ struct MetricDelta {
   std::string metric;
   double base = 0.0;
   double current = 0.0;
-  double rel_change = 0.0;  ///< (current - base) / base; +inf when base == 0
+  double rel_change = 0.0;  ///< (current - base) / base; +-inf when base == 0
+                            ///< (display only; zero baselines gate on the
+                            ///< absolute threshold, never on rel_change)
   bool gated = false;
   bool regression = false;
 };

@@ -3,6 +3,7 @@
 // regression diff used by morph-report.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -307,6 +308,43 @@ TEST(Diff, WallClockIsInformationalOnly) {
   EXPECT_TRUE(res.clean());
   ASSERT_EQ(res.deltas.size(), 1u);
   EXPECT_FALSE(res.deltas[0].gated);
+}
+
+TEST(Diff, ZeroBaselineGatesOnAbsoluteThresholdNotInfPercent) {
+  // Regression guard: a gated metric whose baseline is exactly 0 used to
+  // produce rel_change = +inf and trip the *relative* gate no matter how
+  // small the increase; the gate must fall back to the absolute threshold.
+  BenchReport base = sample_report();
+  base.rows[0].metric("atomics", 0.0);
+  BenchReport cur = sample_report();
+  cur.rows[0].metric("atomics", 3.0);
+
+  // Default absolute threshold is 0: growth from zero still fails, but via
+  // the absolute gate (health counters must never grow silently).
+  const DiffResult strict = diff_reports(base, cur);
+  EXPECT_TRUE(strict.regressed);
+  ASSERT_EQ(strict.deltas.size(), 1u);
+  EXPECT_EQ(strict.deltas[0].metric, "atomics");
+  EXPECT_TRUE(std::isinf(strict.deltas[0].rel_change));
+
+  // An absolute allowance admits the step where no finite relative
+  // threshold ever could.
+  DiffThresholds abs_ok;
+  abs_ok.default_abs = 3.0;
+  EXPECT_EQ(diff_reports(base, cur, abs_ok).exit_code(), 0);
+  DiffThresholds abs_tight;
+  abs_tight.default_abs = 2.0;
+  EXPECT_EQ(diff_reports(base, cur, abs_tight).exit_code(), 1);
+
+  // Per-metric absolute overrides win over the default.
+  DiffThresholds per;
+  per.per_metric_abs = {{"atomics", 5.0}};
+  EXPECT_EQ(diff_reports(base, cur, per).exit_code(), 0);
+
+  // A zero-baseline *improvement* (0 -> negative) never fails.
+  BenchReport down = sample_report();
+  down.rows[0].metric("atomics", -1.0);
+  EXPECT_FALSE(diff_reports(base, down).regressed);
 }
 
 TEST(Diff, StructuralChangesAreFlagged) {

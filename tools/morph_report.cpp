@@ -3,13 +3,16 @@
 //   morph-report show  <report.json>
 //   morph-report diff  <base.json> <current.json>
 //                      [--threshold=REL] [--threshold-<metric>=REL]
+//                      [--threshold-abs=ABS] [--threshold-abs-<metric>=ABS]
 //   morph-report merge <out.json> <in.json>... [--name=NAME]
 //
 // `diff` exits 0 when every gated metric is within threshold, 1 on a
 // regression or structural change (CI uses it as a perf gate), 2 on usage
 // or file errors. Thresholds are relative increases: --threshold=0.05
 // allows +5% on every gated metric; --threshold-atomics=0 makes any growth
-// in atomics fail. See docs/TELEMETRY.md for the report schema.
+// in atomics fail. Zero baselines gate on the absolute thresholds instead
+// (--threshold-abs; default 0), since any growth from 0 is "+inf%". See
+// docs/TELEMETRY.md for the report schema.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -32,6 +35,8 @@ int usage(std::ostream& out, int code) {
          "  morph-report show  <report.json>\n"
          "  morph-report diff  <base.json> <current.json>\n"
          "                     [--threshold=REL] [--threshold-<metric>=REL]\n"
+         "                     [--threshold-abs=ABS] "
+         "[--threshold-abs-<metric>=ABS]\n"
          "  morph-report merge <out.json> <in.json>... [--name=NAME]\n";
   return code;
 }
@@ -82,9 +87,15 @@ int cmd_diff(const BenchReport& base, const BenchReport& cur,
              const CliArgs& args) {
   DiffThresholds th;
   th.default_rel = args.get_double("threshold", th.default_rel);
+  th.default_abs = args.get_double("threshold-abs", th.default_abs);
   for (const auto& [flag, value] : args.flags()) {
+    const std::string abs_prefix = "threshold-abs-";
     const std::string prefix = "threshold-";
-    if (flag.rfind(prefix, 0) == 0 && flag.size() > prefix.size()) {
+    if (flag.rfind(abs_prefix, 0) == 0 && flag.size() > abs_prefix.size()) {
+      th.per_metric_abs.emplace_back(flag.substr(abs_prefix.size()),
+                                     std::strtod(value.c_str(), nullptr));
+    } else if (flag != "threshold-abs" && flag.rfind(prefix, 0) == 0 &&
+               flag.size() > prefix.size()) {
       th.per_metric.emplace_back(flag.substr(prefix.size()),
                                  std::strtod(value.c_str(), nullptr));
     }
@@ -102,8 +113,18 @@ int cmd_diff(const BenchReport& base, const BenchReport& cur,
                            : !d.gated        ? "info"
                            : d.current < d.base ? "improved"
                                                 : "ok";
-      t.add_row({d.row, d.metric, num(d.base), num(d.current),
-                 pct(d.rel_change), status});
+      // A zero baseline has no meaningful percentage; show the absolute
+      // step instead of "+inf%".
+      std::string change;
+      if (d.base != 0.0) {
+        change = pct(d.rel_change);
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%+.6g abs", d.current - d.base);
+        change = buf;
+      }
+      t.add_row({d.row, d.metric, num(d.base), num(d.current), change,
+                 status});
     }
     t.print(std::cout);
   }
@@ -142,7 +163,7 @@ int main(int argc, char** argv) {
   const auto& pos = args.positional();
   if (pos.empty()) return usage(std::cerr, 2);
 
-  std::vector<std::string> known = {"threshold", "name"};
+  std::vector<std::string> known = {"threshold", "threshold-abs", "name"};
   for (const auto& [flag, value] : args.flags()) {
     (void)value;
     if (flag.rfind("threshold-", 0) == 0) known.push_back(flag);

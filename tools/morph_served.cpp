@@ -6,6 +6,7 @@
 //                [--dispatch-cycles=C] [--default-gap=CYCLES]
 //                [--host-workers=N] [--worklist-mode=M]
 //                [--journal=PATH] [--journal-fsync=always|none|N]
+//                [--journal-checkpoint=N]
 //                [--drain-deadline-ms=MS] [--quarantine-threshold=N]
 //
 // Serves morph jobs (dmr / sp / pta / mst) over a unix socket until a client
@@ -51,7 +52,8 @@ int main(int argc, char** argv) {
       {"socket", "pool", "workers", "queue-cap", "max-job-cycles", "batch-max",
        "batch-linger", "small-job", "dispatch-cycles", "default-gap",
        "host-workers", "worklist-mode", "worklist-shards", "journal",
-       "journal-fsync", "drain-deadline-ms", "quarantine-threshold"},
+       "journal-fsync", "journal-checkpoint", "drain-deadline-ms",
+       "quarantine-threshold"},
       std::cerr);
 
   cfg.socket_path = args.get("socket", cfg.socket_path);
@@ -91,6 +93,9 @@ int main(int argc, char** argv) {
               << fsync_policy << "')\n";
     return 2;
   }
+  cfg.journal.checkpoint_every = static_cast<std::uint64_t>(args.get_int(
+      "journal-checkpoint",
+      static_cast<std::int64_t>(cfg.journal.checkpoint_every)));
   cfg.drain_deadline_ms =
       args.get_double("drain-deadline-ms", cfg.drain_deadline_ms);
   cfg.quarantine_threshold = static_cast<std::uint32_t>(
